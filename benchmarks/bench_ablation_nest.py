@@ -1,0 +1,74 @@
+"""Ablation: warm-core placement (the Nest motivation from section 2).
+
+DESIGN.md lists the substrate's C-state model as a design choice; this
+ablation shows a policy exploiting it: the Nest-style scheduler keeps a
+bursty, under-committed workload on a small set of warm cores, avoiding
+the deep idle-exit penalty that spreading placement (WFQ) keeps paying.
+"""
+
+from bench_common import ENOKI_POLICY, base_kernel, print_table
+from conftest import run_once
+from repro.core import EnokiSchedClass
+from repro.schedulers.nest import EnokiNest
+from repro.schedulers.wfq import EnokiWfq
+from repro.simkernel.clock import msecs, usecs
+
+
+def _run(scheduler_factory):
+    kernel = base_kernel()
+    EnokiSchedClass.register(kernel, scheduler_factory(), ENOKI_POLICY,
+                             priority=10)
+
+    def periodic(offset_ns):
+        def prog():
+            from repro.simkernel.program import Run, Sleep
+            yield Sleep(offset_ns)
+            # Bursty service: short work, sleeps past the deep-idle
+            # threshold.  Staggered phases keep the aggregate arrival
+            # stream steady — one warm core can absorb all of it, while
+            # spreading placement leaves every core cooling between its
+            # own task's bursts.
+            for _ in range(60):
+                yield Run(usecs(120))
+                yield Sleep(msecs(2) + usecs(800))
+        return prog
+
+    tasks = [kernel.spawn(periodic(i * usecs(350)), policy=ENOKI_POLICY)
+             for i in range(8)]
+    kernel.run_until_idle()
+    latencies = []
+    for task in tasks:
+        latencies.extend(task.stats.wakeup_latencies)
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2] / 1e3
+    used = sum(1 for c in kernel.stats.cpus if c.busy_ns > usecs(500))
+    deep_wakes = sum(1 for lat in latencies
+                     if lat >= kernel.config.idle_exit_deep_ns)
+    return p50, used, deep_wakes, len(latencies)
+
+
+def test_ablation_nest_warm_cores(benchmark):
+    def experiment():
+        return {
+            "EnokiNest (warm-core)": _run(lambda: EnokiNest(8, ENOKI_POLICY)),
+            "EnokiWfq (spreading)": _run(lambda: EnokiWfq(8, ENOKI_POLICY)),
+        }
+
+    out = run_once(benchmark, experiment)
+    rows = [
+        [name, p50, cores, f"{deep}/{total}"]
+        for name, (p50, cores, deep, total) in out.items()
+    ]
+    print_table(
+        "Ablation — Nest-style warm-core reuse vs spreading placement",
+        ["scheduler", "wakeup p50 (us)", "cores touched",
+         "deep-idle wakeups"],
+        rows,
+        paper_note="section 2 motivation (Nest, EuroSys '22): reusing "
+                   "warm cores avoids cold-start penalties",
+    )
+    nest = out["EnokiNest (warm-core)"]
+    wfq = out["EnokiWfq (spreading)"]
+    # Claims: the nest touches fewer cores and pays fewer deep wakeups.
+    assert nest[1] <= wfq[1]
+    assert nest[2] <= wfq[2]

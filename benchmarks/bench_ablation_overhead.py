@@ -1,0 +1,78 @@
+"""Ablation: the Enoki dispatch overhead constant.
+
+DESIGN.md decision 1: every kernel->scheduler call pays the framework's
+message-dispatch cost (the paper measured 100-150 ns per invocation and
+attributes its entire Table 3 delta to it).  Zeroing the constant should
+collapse the WFQ-vs-CFS sched-pipe gap — confirming the model attributes
+the gap to the right mechanism.
+"""
+
+from bench_common import cfs_kernel, print_table, wfq_kernel
+from conftest import run_once
+from repro.simkernel import SimConfig
+from repro.workloads.pipe_bench import run_pipe_benchmark
+
+ROUNDS = 1500
+
+
+def _latency(factory, config):
+    kernel, policy = factory(None, config)
+    result = run_pipe_benchmark(kernel, policy=policy, rounds=ROUNDS,
+                                same_core=True)
+    return result.latency_us_per_message
+
+
+def test_ablation_dispatch_overhead(benchmark):
+    def experiment():
+        default = SimConfig()
+        zeroed = SimConfig().scaled(enoki_call_ns=0)
+        return {
+            "cfs": _latency(cfs_kernel, default),
+            "wfq_default": _latency(wfq_kernel, default),
+            "wfq_zero_overhead": _latency(
+                lambda t, c: wfq_kernel(t, c), zeroed),
+        }
+
+    out = run_once(benchmark, experiment)
+    gap_default = out["wfq_default"] - out["cfs"]
+    gap_zeroed = out["wfq_zero_overhead"] - out["cfs"]
+    rows = [
+        ["CFS", out["cfs"]],
+        ["Enoki WFQ (125 ns dispatch)", out["wfq_default"]],
+        ["Enoki WFQ (0 ns dispatch)", out["wfq_zero_overhead"]],
+        ["gap with overhead (us)", gap_default],
+        ["gap without overhead (us)", gap_zeroed],
+    ]
+    print_table(
+        "Ablation — per-invocation dispatch overhead on sched-pipe",
+        ["configuration", "us per message"], rows,
+    )
+    # The dispatch constant must explain most of the Enoki-vs-CFS gap.
+    assert gap_zeroed < gap_default * 0.5
+
+
+def test_ablation_upgrade_pause_scaling(benchmark):
+    """DESIGN.md decision 3: quiesce cost grows with core count."""
+    from repro.core import EnokiSchedClass, UpgradeManager
+    from repro.schedulers.wfq import EnokiWfq
+    from repro.simkernel import Kernel, Topology
+
+    def experiment():
+        pauses = {}
+        for nr_cpus in (2, 8, 20, 40, 80):
+            kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+            sched = EnokiWfq(nr_cpus, 7)
+            shim = EnokiSchedClass.register(kernel, sched, 7)
+            manager = UpgradeManager(kernel, shim)
+            report = manager.upgrade_now(EnokiWfq(nr_cpus, 7))
+            pauses[nr_cpus] = report.pause_us
+        return pauses
+
+    pauses = run_once(benchmark, experiment)
+    rows = [[f"{n} CPUs", pause] for n, pause in pauses.items()]
+    print_table(
+        "Ablation — upgrade pause vs machine size",
+        ["machine", "pause (us)"], rows,
+        paper_note="paper anchors: 1.5 us at 8 cores, ~10 us at 80",
+    )
+    assert pauses[80] > pauses[8] > pauses[2]

@@ -1,0 +1,81 @@
+"""Appendix A.1: WFQ functional equivalence with CFS.
+
+Paper: five CPU hogs finish together (~4.6 s spread out, ~22.2 s
+co-located, i.e. ~5x); with one task at minimum priority the other four
+finish together and the low-priority task trails; one-task-per-core
+placement completes evenly, with the Enoki WFQ scheduler showing a larger
+runtime standard deviation when a task is forced to move (0.018 s vs
+0.001 s) because of its simpler balancing.
+"""
+
+from bench_common import cfs_kernel, print_table, wfq_kernel
+from conftest import run_once
+from repro.simkernel.clock import msecs
+from repro.workloads.fairness import (
+    run_fair_share,
+    run_placement,
+    run_weighted_share,
+)
+
+WORK = msecs(400)
+
+
+def test_appendix_fairness(benchmark):
+    def experiment():
+        out = {}
+        for name, factory in (("CFS", cfs_kernel), ("WFQ", wfq_kernel)):
+            kernel, policy = factory()
+            spread = run_fair_share(kernel, policy, work_ns=WORK)
+            kernel, policy = factory()
+            one_core = run_fair_share(kernel, policy, work_ns=WORK,
+                                      one_core=True)
+            kernel, policy = factory()
+            weighted = run_weighted_share(kernel, policy, work_ns=WORK)
+            kernel, policy = factory()
+            placed = run_placement(kernel, policy, work_ns=WORK)
+            kernel, policy = factory()
+            moved = run_placement(kernel, policy, work_ns=WORK,
+                                  move_one=True)
+            out[name] = {
+                "spread": spread, "one_core": one_core,
+                "weighted": weighted, "placed": placed, "moved": moved,
+            }
+        return out
+
+    out = run_once(benchmark, experiment)
+    rows = []
+    for name in ("CFS", "WFQ"):
+        o = out[name]
+        finish_spread = max(o["spread"].finish_times_ns.values()) / 1e9
+        finish_onecore = max(o["one_core"].finish_times_ns.values()) / 1e9
+        low = o["weighted"].finish_times_ns["weighted-4"] / 1e9
+        others = max(
+            v for k, v in o["weighted"].finish_times_ns.items()
+            if k != "weighted-4"
+        ) / 1e9
+        rows.append([
+            name, finish_spread, finish_onecore,
+            finish_onecore / finish_spread,
+            others, low,
+            o["placed"].runtime_stddev_ns() / 1e9,
+            o["moved"].runtime_stddev_ns() / 1e9,
+        ])
+    print_table(
+        "Appendix A.1 — functional equivalence (seconds)",
+        ["sched", "5 tasks spread", "5 tasks 1 core", "ratio",
+         "4x nice0 done", "nice19 done", "stddev placed", "stddev moved"],
+        rows,
+        paper_note="paper: 4.6 s vs 22.2 s (5x); nice19 finishes 4.4 s "
+                   "after the others; move stddev CFS 0.001 s vs WFQ "
+                   "0.018 s",
+    )
+    for row in rows:
+        name, spread, one_core, ratio, others, low, sd_placed, sd_moved = \
+            row
+        # Claims: ~5x when co-located; low-priority task trails; moving a
+        # task does not change completion times materially.
+        assert 4.3 < ratio < 5.7, name
+        assert low > others, name
+    # WFQ's simpler balancing shows more movement jitter than CFS.
+    cfs_row, wfq_row = rows
+    assert wfq_row[7] >= cfs_row[7]

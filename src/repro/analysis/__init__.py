@@ -1,0 +1,6 @@
+"""Result statistics and table rendering for the benchmark harness."""
+
+from repro.analysis.stats import geomean, percentile, summarize
+from repro.analysis.tables import render_table
+
+__all__ = ["geomean", "percentile", "render_table", "summarize"]

@@ -1,0 +1,53 @@
+"""Small statistics helpers used by workloads and benches.
+
+Percentiles use the nearest-rank method (what schbench reports), and the
+geometric mean matches the paper's Table 5 aggregation.
+"""
+
+import math
+
+
+def percentile(samples, pct):
+    """Nearest-rank percentile; ``pct`` in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile out of range: {pct}")
+    ordered = sorted(samples)
+    if pct == 0:
+        return ordered[0]
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def geomean(values):
+    """Geometric mean; values must be positive."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values):
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values):
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def summarize(samples):
+    """Common latency summary: (p50, p99, mean, max)."""
+    return {
+        "p50": percentile(samples, 50),
+        "p99": percentile(samples, 99),
+        "mean": mean(samples),
+        "max": max(samples),
+        "count": len(samples),
+    }

@@ -1,0 +1,28 @@
+"""Plain-text table rendering for benchmark output.
+
+Every bench prints the same rows/series the paper's table or figure
+reports, through this renderer, so EXPERIMENTS.md and the bench output
+stay directly comparable.
+"""
+
+
+def render_table(title, headers, rows, floatfmt="{:.2f}"):
+    """Render an aligned text table; returns the string."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [title, "=" * len(title), line(headers),
+           line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,35 @@
+"""The Arachne user-level threading stack (paper section 4.2.4).
+
+Arachne (Qin et al., OSDI '18) provides two-level scheduling: a **core
+arbiter** assigns whole cores to processes, and a per-process **runtime**
+multiplexes lightweight user threads over the granted cores.
+
+* :mod:`~repro.arachne_rt.user_thread` — user threads and their op set.
+* :mod:`~repro.arachne_rt.runtime` — the runtime: kernel-thread dispatch
+  loops, user-thread scheduling, core scaling, arbiter protocol client.
+* :mod:`~repro.arachne_rt.native_arbiter` — the original userspace core
+  arbiter (socket + cpuset model), the paper's baseline.
+* :class:`repro.schedulers.arachne.EnokiCoreArbiter` — the paper's
+  contribution: the same arbiter as an Enoki kernel scheduler using
+  bidirectional hint queues.
+"""
+
+from repro.arachne_rt.runtime import ArachneRuntime
+from repro.arachne_rt.user_thread import (
+    UCond,
+    UExit,
+    UNotify,
+    URun,
+    UserThread,
+    UWait,
+)
+
+__all__ = [
+    "ArachneRuntime",
+    "UCond",
+    "UExit",
+    "UNotify",
+    "URun",
+    "UserThread",
+    "UWait",
+]

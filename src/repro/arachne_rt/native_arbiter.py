@@ -1,0 +1,170 @@
+"""The original (userspace) Arachne core arbiter — the paper's baseline.
+
+    "In Arachne, both the core arbiter and the runtime are implemented in
+    userspace.  The core arbiter relies on Linux's cpuset mechanism to
+    manage core assignments.  The runtime sends messages to the core
+    arbiter over a socket, and the core arbiter either responds on the
+    socket or uses a shared memory page."
+
+Model: the arbiter is an ordinary task (scheduled by CFS, like the real
+daemon).  Runtimes send requests over a pipe (the socket); grants wake the
+parked dispatcher's futex through the kernel; reclaim requests are flipped
+in shared memory (the slot's ``reclaim_requested`` flag), exactly the
+split the paper describes.  Every round trip therefore pays real
+scheduling latency — which is why the Enoki arbiter's in-kernel grants are
+cheaper.
+"""
+
+from repro.arachne_rt.runtime import NullArbiterClient, SlotState
+from repro.simkernel.pipe import Pipe
+from repro.simkernel.program import (
+    FutexWait,
+    FutexWake,
+    PipeRead,
+    PipeWrite,
+    Run,
+)
+
+
+class NativeCoreArbiter:
+    """The userspace arbiter daemon plus its client factory."""
+
+    #: arbiter-side processing cost per request message
+    process_request_ns = 800
+
+    def __init__(self, kernel, managed_cores, policy=0, name="core-arbiter"):
+        self.kernel = kernel
+        self.managed_cores = set(managed_cores)
+        self.name = name
+        self.socket = Pipe(name=f"{name}-socket")
+        self.runtimes = {}          # name -> (runtime, client)
+        self.granted = {}           # runtime name -> set of cores
+        self.requested = {}         # runtime name -> wanted count
+        self.task = kernel.spawn(
+            self._arbiter_program(), name=name, policy=policy,
+        )
+
+    def client(self):
+        return NativeArbiterClient(self)
+
+    # ------------------------------------------------------------------
+    # the daemon
+    # ------------------------------------------------------------------
+
+    def _arbiter_program(self):
+        def prog():
+            while True:
+                message = yield PipeRead(self.socket)
+                if message is None or message == ("stop",):
+                    return
+                yield Run(self.process_request_ns)
+                self._handle(message)
+                for action in self._rebalance():
+                    yield action
+        return prog
+
+    def _handle(self, message):
+        kind = message[0]
+        if kind == "register":
+            _kind, name, runtime, client = message
+            self.runtimes[name] = (runtime, client)
+            self.granted.setdefault(name, set())
+            self.requested.setdefault(name, 1)
+        elif kind == "request":
+            _kind, name, cores = message
+            self.requested[name] = cores
+        elif kind == "release":
+            _kind, name, core = message
+            self.granted.get(name, set()).discard(core)
+
+    def _rebalance(self):
+        """Grant free cores; emit the kernel ops that wake dispatchers."""
+        actions = []
+        in_use = set()
+        for cores in self.granted.values():
+            in_use |= cores
+        free = self.managed_cores - in_use
+        for name, (runtime, _client) in self.runtimes.items():
+            wanted = self.requested.get(name, 1)
+            held = self.granted.setdefault(name, set())
+            while len(held) < wanted and free:
+                slot = self._parked_slot(runtime, free)
+                if slot is None:
+                    break
+                free.discard(slot.core)
+                held.add(slot.core)
+                # cpuset-equivalent: wake the dispatcher for that core.
+                slot.futex.value = 1
+                actions.append(FutexWake(slot.futex, 1))
+            # Reclaims go through the shared memory page.
+            if len(held) > wanted:
+                extras = sorted(held, reverse=True)[:len(held) - wanted]
+                for core in extras:
+                    for slot in runtime.slots:
+                        if slot.core == core:
+                            slot.reclaim_requested = True
+        return actions
+
+    @staticmethod
+    def _parked_slot(runtime, free):
+        for slot in runtime.slots:
+            if slot.state is SlotState.PARKED and slot.core in free:
+                return slot
+        return None
+
+
+class NativeArbiterClient(NullArbiterClient):
+    """Runtime-side stub speaking the socket protocol."""
+
+    def __init__(self, arbiter):
+        self.arbiter = arbiter
+        self._request_pending = False
+        self._registered = False
+
+    def bind(self, runtime):
+        self.runtime = runtime
+
+    def on_started(self, runtime):
+        self.arbiter.runtimes[runtime.name] = (runtime, self)
+        self.arbiter.granted.setdefault(
+            runtime.name,
+            {s.core for s in runtime.slots
+             if s.state is not SlotState.PARKED},
+        )
+        self.arbiter.requested.setdefault(
+            runtime.name, len(runtime.active_slots()) or 1)
+
+    def loop_ops(self, runtime, slot):
+        if self._request_pending:
+            self._request_pending = False
+            active = len(runtime.active_slots())
+            backlog = len(runtime.runnable)
+            wanted = max(runtime.min_cores,
+                         min(runtime.max_cores,
+                             active + max(1, backlog // 2)))
+            yield PipeWrite(self.arbiter.socket,
+                            ("request", runtime.name, wanted))
+
+    def request_core(self, runtime):
+        self._request_pending = True
+
+    def notify_release(self, runtime, slot):
+        # Socket message announcing the release; sent by the parking
+        # dispatcher itself in park_ops.
+        pass
+
+    def park_ops(self, runtime, slot):
+        active_after = max(runtime.min_cores,
+                           len(runtime.active_slots()) - 1)
+        yield PipeWrite(self.arbiter.socket,
+                        ("request", runtime.name, active_after))
+        yield PipeWrite(self.arbiter.socket,
+                        ("release", runtime.name, slot.core))
+        slot.state = SlotState.PARKED
+        slot.futex.value = 0
+        yield FutexWait(slot.futex, expected=0)
+        slot.state = SlotState.ACTIVE
+        slot.reclaim_requested = False
+
+    def unpark(self, runtime, slot):
+        self._request_pending = True

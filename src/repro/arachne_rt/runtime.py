@@ -1,0 +1,320 @@
+"""The Arachne runtime: user-thread scheduling over granted cores.
+
+One :class:`ArachneRuntime` manages a process's user threads.  It owns one
+kernel thread ("dispatcher") per core it may use; each dispatcher is a
+simulated kernel task pinned to its core that loops: pick a user thread,
+interpret its user ops (sub-microsecond switch/wake costs), poll for new
+work, and — when idle long enough — release its core back to the arbiter
+and park.
+
+Core acquisition/release goes through a pluggable *arbiter client*
+(:class:`NullArbiterClient` grants everything instantly; the native and
+Enoki arbiters live in their own modules).  The runtime is what makes the
+Arachne columns of Tables 3/4 microsecond-scale: user-level wakeups never
+enter the kernel.
+"""
+
+import enum
+from collections import deque
+
+from repro.arachne_rt.user_thread import (
+    UExit,
+    UNotify,
+    URun,
+    USpawn,
+    UserThread,
+    UtState,
+    UWait,
+)
+from repro.simkernel.errors import SimError
+from repro.simkernel.futex import Futex
+from repro.simkernel.program import FutexWait, Run
+
+
+class SlotState(enum.Enum):
+    ACTIVE = "active"
+    PARKING = "parking"
+    PARKED = "parked"
+
+
+class _Slot:
+    """Bookkeeping for one dispatcher kernel thread."""
+
+    __slots__ = ("index", "core", "task", "futex", "state",
+                 "reclaim_requested", "idle_spun_ns", "grant_pending")
+
+    def __init__(self, index, core):
+        self.index = index
+        self.core = core
+        self.task = None
+        self.futex = Futex(name=f"arachne-slot-{core}")
+        self.state = SlotState.PARKED
+        self.reclaim_requested = False
+        self.idle_spun_ns = 0
+        self.grant_pending = False
+
+
+class ArachneRuntime:
+    """User-level thread scheduler for one simulated process."""
+
+    #: user-level context switch (same-core notify + switch): Table 3's
+    #: one-core Arachne pipe latency is exactly this path
+    user_switch_ns = 40
+    #: waking a user thread that lands on another dispatcher
+    user_wake_ns = 60
+    #: creating a user thread
+    spawn_cost_ns = 150
+    #: dispatcher poll loop quantum while idle
+    poll_quantum_ns = 2_000
+    #: spin this long with no work before releasing the core
+    park_after_ns = 200_000
+
+    def __init__(self, kernel, cores, policy, arbiter=None, name="arachne",
+                 min_cores=1, max_cores=None):
+        self.kernel = kernel
+        self.policy = policy
+        self.name = name
+        self.arbiter = arbiter if arbiter is not None \
+            else NullArbiterClient()
+        self.slots = [_Slot(i, core) for i, core in enumerate(cores)]
+        self.min_cores = max(1, min_cores)
+        self.max_cores = max_cores if max_cores is not None else len(cores)
+        self.runnable = deque()
+        self.shutdown = False
+        self.stats_dispatched = 0
+        self.stats_parks = 0
+        self.stats_grants = 0
+        self.arbiter.bind(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, initial_cores=None):
+        """Spawn the dispatcher kernel threads; the first ``initial_cores``
+        start active, the rest parked.  All dispatchers share one thread
+        group (they are one process)."""
+        active = initial_cores if initial_cores is not None \
+            else self.min_cores
+        self.tgid = None
+        for slot in self.slots:
+            starts_active = slot.index < active
+            slot.state = SlotState.ACTIVE if starts_active \
+                else SlotState.PARKED
+            slot.task = self.kernel.spawn(
+                self._dispatcher_program(slot, starts_active),
+                name=f"{self.name}-kt{slot.core}",
+                policy=self.policy,
+                allowed_cpus=frozenset({slot.core}),
+                origin_cpu=slot.core,
+                tgid=self.tgid,
+            )
+            if self.tgid is None:
+                self.tgid = slot.task.tgid
+        self.arbiter.on_started(self)
+        return self
+
+    def stop(self):
+        self.shutdown = True
+        for slot in self.slots:
+            self._unpark(slot)
+
+    # ------------------------------------------------------------------
+    # user-facing API
+    # ------------------------------------------------------------------
+
+    def submit(self, program, name=None, on_done=None):
+        """Create a user thread; wakes a parked dispatcher if needed."""
+        thread = UserThread(program, name=name, on_done=on_done)
+        self.runnable.append(thread)
+        self._scale_up_if_needed()
+        return thread
+
+    def active_slots(self):
+        return [s for s in self.slots if s.state is SlotState.ACTIVE]
+
+    def _scale_up_if_needed(self):
+        active = len(self.active_slots())
+        if active >= self.max_cores:
+            return
+        # More waiting work than cores: ask for another core.
+        if len(self.runnable) > active:
+            self.arbiter.request_core(self)
+
+    # called by arbiter clients ------------------------------------------------
+
+    def grant_slot(self):
+        """Pick a parked slot to activate; returns it (or None).
+
+        Slots with a grant already in flight (pending flag, or futex word
+        flipped but dispatcher not yet resumed) are skipped so repeated
+        requests fan out over distinct cores.
+        """
+        for slot in self.slots:
+            if (slot.state is SlotState.PARKED and slot.task is not None
+                    and not slot.grant_pending and slot.futex.value == 0):
+                self.stats_grants += 1
+                return slot
+        return None
+
+    def _unpark(self, slot):
+        self.arbiter.unpark(self, slot)
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+
+    def _dispatcher_program(self, slot, starts_active):
+        def prog():
+            yield from self.arbiter.intro_ops(self, slot)
+            if not starts_active:
+                yield from self.arbiter.park_ops(self, slot)
+            loops = 0
+            while True:
+                if self.shutdown:
+                    return
+                loops += 1
+                if loops % 2 == 0:
+                    yield from self.arbiter.loop_ops(self, slot)
+                if (slot.reclaim_requested
+                        and len(self.active_slots()) > self.min_cores):
+                    slot.reclaim_requested = False
+                    self.stats_parks += 1
+                    yield from self.arbiter.park_ops(self, slot)
+                    continue
+                thread = self._pick_thread()
+                if thread is None:
+                    slot.idle_spun_ns += self.poll_quantum_ns
+                    if (slot.idle_spun_ns >= self.park_after_ns
+                            and len(self.active_slots()) > self.min_cores):
+                        slot.idle_spun_ns = 0
+                        self.stats_parks += 1
+                        self.arbiter.notify_release(self, slot)
+                        yield from self.arbiter.park_ops(self, slot)
+                        continue
+                    # Dispatcher poll loop: burn a quantum looking for work.
+                    yield Run(self.poll_quantum_ns)
+                    continue
+                slot.idle_spun_ns = 0
+                yield from self._run_thread(slot, thread)
+        return prog
+
+    def _pick_thread(self):
+        while self.runnable:
+            thread = self.runnable.popleft()
+            if thread.state is UtState.RUNNABLE:
+                return thread
+        return None
+
+    def _run_thread(self, slot, thread):
+        """Interpret one user thread until it blocks or finishes."""
+        thread.state = UtState.RUNNING
+        thread.home_slot = slot.index
+        self.stats_dispatched += 1
+        charge = self.user_switch_ns
+        while True:
+            op = thread.next_op()
+            if op is None:
+                break
+            if isinstance(op, URun):
+                yield Run(charge + int(op.ns))
+                charge = 0
+                continue
+            if isinstance(op, UWait):
+                if op.cond.consume_signal():
+                    # A banked notify absorbs this wait; keep running.
+                    thread.pending_result = None
+                    continue
+                op.cond.waiters.append(thread)
+                thread.state = UtState.BLOCKED
+                charge += self.user_switch_ns
+                break
+            if isinstance(op, UNotify):
+                woken = op.cond.take_waiters(op.count)
+                for other in woken:
+                    other.state = UtState.RUNNABLE
+                    self.runnable.append(other)
+                    charge += self.user_wake_ns
+                # Bank the surplus so no wakeup is ever lost.
+                op.cond.bank_signals(op.count - len(woken))
+                thread.pending_result = len(woken)
+                self._scale_up_if_needed()
+                continue
+            if isinstance(op, USpawn):
+                child = UserThread(op.program, name=op.name)
+                self.runnable.append(child)
+                thread.pending_result = child
+                charge += self.spawn_cost_ns
+                self._scale_up_if_needed()
+                continue
+            if isinstance(op, UExit):
+                thread.exit_value = op.value
+                thread.state = UtState.DONE
+                break
+            raise SimError(f"unknown user op {op!r} from {thread}")
+        if charge:
+            yield Run(charge)
+        if thread.state is UtState.DONE and thread.on_done is not None:
+            thread.on_done(thread)
+
+
+class NullArbiterClient:
+    """All cores granted up front; parking is plain futex sleep.
+
+    Used when the experiment fixes the core count (Tables 3/4) or as the
+    base class for the real clients.
+    """
+
+    def bind(self, runtime):
+        self.runtime = runtime
+
+    def on_started(self, runtime):
+        """Dispatcher tasks exist; finish any kernel-side registration."""
+
+    def intro_ops(self, runtime, slot):
+        """Ops each dispatcher runs once at startup."""
+        return iter(())
+
+    def loop_ops(self, runtime, slot):
+        """Ops an active dispatcher runs periodically (protocol polling)."""
+        return iter(())
+
+    def request_core(self, runtime):
+        slot = runtime.grant_slot()
+        if slot is not None:
+            self.unpark(runtime, slot)
+
+    def notify_release(self, runtime, slot):
+        """The dispatcher decided to give its core back."""
+
+    def park_ops(self, runtime, slot):
+        """Ops a dispatcher yields to park itself."""
+        slot.state = SlotState.PARKED
+        if slot.grant_pending:
+            # A grant raced ahead of the park: stay active.
+            slot.grant_pending = False
+            slot.state = SlotState.ACTIVE
+            return
+        slot.futex.value = 0
+        # The expected-value check closes the park/unpark race: an unpark
+        # that lands before the dispatcher blocks flips the word and the
+        # wait bounces instead of sleeping through the grant.
+        yield FutexWait(slot.futex, expected=0)
+        slot.state = SlotState.ACTIVE
+        # A reclaim noted before this park is stale once the core is
+        # granted back.
+        slot.reclaim_requested = False
+
+    def unpark(self, runtime, slot):
+        """Kernel-side: reactivate a parked dispatcher."""
+        task = slot.task
+        if task is None or slot.state is not SlotState.PARKED:
+            return
+        slot.futex.value = 1
+        if task in slot.futex.waiters:
+            slot.futex.remove_waiter(task)
+            runtime.kernel.wake_task(task)
+        else:
+            # The dispatcher has not blocked yet (e.g. it has not even
+            # started); leave it a pending grant to consume at park time.
+            slot.grant_pending = True

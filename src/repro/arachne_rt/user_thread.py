@@ -1,0 +1,129 @@
+"""User threads: the entities the Arachne runtime schedules.
+
+A user thread is a generator yielding *user ops*; the runtime's kernel
+threads interpret them.  User-level operations cost fractions of a
+microsecond — this is why the Arachne columns of Tables 3 and 4 read
+0.1–1 us where every kernel scheduler costs several: a ping-pong between
+two user threads never enters the kernel at all.
+"""
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class URun:
+    """Compute for ``ns`` nanoseconds (runs on the hosting kernel thread)."""
+
+    ns: int
+
+
+@dataclass
+class UWait:
+    """Block this user thread on a user-level condition."""
+
+    cond: "UCond"
+
+
+@dataclass
+class UNotify:
+    """Wake up to ``count`` user threads waiting on the condition."""
+
+    cond: "UCond"
+    count: int = 1
+
+
+@dataclass
+class UExit:
+    """Finish the user thread."""
+
+    value: Any = None
+
+
+@dataclass
+class USpawn:
+    """Create a new user thread running ``program``."""
+
+    program: Any
+    name: Optional[str] = None
+
+
+class UCond:
+    """A user-level wait queue with counting semantics.
+
+    A notify with no waiter present is banked as a pending signal (like a
+    semaphore / futex-with-counter), so producer/consumer user threads
+    cannot lose wakeups however their dispatchers interleave.
+    """
+
+    _next_id = 0
+
+    def __init__(self, name=None):
+        UCond._next_id += 1
+        self.id = UCond._next_id
+        self.name = name or f"ucond-{self.id}"
+        self.waiters = deque()   # UserThread, FIFO
+        self.signals = 0         # banked notifies with no waiter
+
+    def take_waiters(self, count):
+        woken = []
+        while self.waiters and len(woken) < count:
+            woken.append(self.waiters.popleft())
+        return woken
+
+    def consume_signal(self):
+        """True when a banked signal absorbed this wait."""
+        if self.signals > 0:
+            self.signals -= 1
+            return True
+        return False
+
+    def bank_signals(self, count):
+        self.signals += count
+
+
+class UtState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class UserThread:
+    """One lightweight thread managed by the runtime."""
+
+    _next_id = 0
+
+    def __init__(self, program, name=None, on_done=None):
+        UserThread._next_id += 1
+        self.utid = UserThread._next_id
+        self.name = name or f"uthread-{self.utid}"
+        self.program = program
+        self.on_done = on_done
+        self._gen = None
+        self._started = False
+        self.state = UtState.RUNNABLE
+        self.pending_result = None
+        self.exit_value = None
+        self.home_slot = None     # runtime core slot index
+
+    def next_op(self):
+        """Advance one user op; returns None when the thread finishes."""
+        if self._gen is None:
+            self._gen = self.program()
+        try:
+            if not self._started:
+                self._started = True
+                return self._gen.send(None)
+            result = self.pending_result
+            self.pending_result = None
+            return self._gen.send(result)
+        except StopIteration as stop:
+            self.exit_value = stop.value
+            self.state = UtState.DONE
+            return None
+
+    def __repr__(self):
+        return f"UserThread({self.name!r}, {self.state.value})"

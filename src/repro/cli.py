@@ -1,0 +1,186 @@
+"""Command-line entry point: run experiments without pytest.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro pipe                 # Table 3 quick run (CFS vs WFQ)
+    python -m repro schbench --workers 2
+    python -m repro rocksdb --load 40000
+    python -m repro upgrade
+    python -m repro fairness
+
+These are quick single-configuration runs for exploration; the full
+table/figure reproductions live in ``benchmarks/``.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.tables import render_table
+from repro.core import EnokiSchedClass, UpgradeManager
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.shinjuku import EnokiShinjuku
+from repro.schedulers.wfq import EnokiWfq
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.simkernel.clock import msecs
+
+POLICY = 7
+
+
+def _cfs_kernel(topology=None):
+    kernel = Kernel(topology or Topology.small8(), SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=10)
+    return kernel, 0
+
+
+def _wfq_kernel(topology=None):
+    kernel = Kernel(topology or Topology.small8(), SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+    nr = kernel.topology.nr_cpus
+    EnokiSchedClass.register(kernel, EnokiWfq(nr, POLICY), POLICY,
+                             priority=10)
+    return kernel, POLICY
+
+
+def cmd_pipe(args):
+    from repro.workloads.pipe_bench import run_pipe_benchmark
+
+    rows = []
+    for name, factory in (("CFS", _cfs_kernel), ("Enoki WFQ", _wfq_kernel)):
+        for config, same in (("one core", True), ("two cores", False)):
+            kernel, policy = factory()
+            result = run_pipe_benchmark(kernel, policy,
+                                        rounds=args.rounds,
+                                        same_core=same)
+            rows.append([name, config, result.latency_us_per_message])
+    print(render_table("sched-pipe (us per message)",
+                       ["scheduler", "config", "latency"], rows))
+    return 0
+
+
+def cmd_schbench(args):
+    from repro.workloads.schbench import run_schbench
+
+    topology = Topology.big80() if args.big else Topology.small8()
+    rows = []
+    for name, factory in (("CFS", _cfs_kernel), ("Enoki WFQ", _wfq_kernel)):
+        kernel, policy = factory(topology)
+        result = run_schbench(kernel, policy, message_threads=2,
+                              workers_per_thread=args.workers,
+                              warmup_ns=msecs(50),
+                              duration_ns=msecs(args.duration_ms))
+        rows.append([name, result.p50_us, result.p99_us,
+                     len(result.samples_us)])
+    print(render_table(
+        f"schbench, 2 message threads x {args.workers} workers (us)",
+        ["scheduler", "p50", "p99", "samples"], rows))
+    return 0
+
+
+def cmd_rocksdb(args):
+    from repro.workloads.rocksdb import run_rocksdb
+
+    rows = []
+    for name in ("CFS", "Enoki-Shinjuku"):
+        kernel = Kernel(Topology.small8(), SimConfig())
+        kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+        policy = 0
+        if name == "Enoki-Shinjuku":
+            sched = EnokiShinjuku(8, 8, worker_cpus=[3, 4, 5, 6, 7])
+            EnokiSchedClass.register(kernel, sched, 8, priority=10)
+            policy = 8
+        result = run_rocksdb(kernel, policy, args.load,
+                             duration_ns=msecs(args.duration_ms))
+        rows.append([name, result.p50_us, result.p99_us,
+                     result.completed])
+    print(render_table(
+        f"RocksDB-style server at {args.load} req/s (GET latency, us)",
+        ["scheduler", "p50", "p99", "completed"], rows))
+    return 0
+
+
+def cmd_upgrade(args):
+    from repro.workloads.schbench import run_schbench
+
+    for label, topology in (("1-socket/8-core", Topology.small8()),
+                            ("2-socket/80-cpu", Topology.big80())):
+        kernel, policy = _wfq_kernel(topology)
+        shim = next(c for _p, c in kernel._classes if c.policy == policy)
+        manager = UpgradeManager(kernel, shim)
+        manager.schedule_upgrade(
+            lambda: EnokiWfq(topology.nr_cpus, policy), at_ns=msecs(30))
+        run_schbench(kernel, policy, message_threads=2,
+                     workers_per_thread=2, warmup_ns=msecs(10),
+                     duration_ns=msecs(80))
+        report = manager.reports[0]
+        print(f"{label}: live upgrade pause {report.pause_us:.2f} us "
+              f"({report.transferred_tasks} tasks transferred)")
+    return 0
+
+
+def cmd_fairness(args):
+    from repro.workloads.fairness import run_fair_share
+
+    rows = []
+    for name, factory in (("CFS", _cfs_kernel), ("Enoki WFQ", _wfq_kernel)):
+        kernel, policy = factory()
+        spread = run_fair_share(kernel, policy, work_ns=msecs(200))
+        kernel, policy = factory()
+        packed = run_fair_share(kernel, policy, work_ns=msecs(200),
+                                one_core=True)
+        rows.append([
+            name,
+            max(spread.finish_times_ns.values()) / 1e9,
+            max(packed.finish_times_ns.values()) / 1e9,
+            max(packed.finish_times_ns.values())
+            / max(spread.finish_times_ns.values()),
+        ])
+    print(render_table(
+        "five CPU hogs: spread vs one core (seconds)",
+        ["scheduler", "spread", "one core", "ratio"], rows))
+    return 0
+
+
+EXPERIMENTS = {
+    "pipe": (cmd_pipe, "Table 3 quick run: sched-pipe CFS vs Enoki WFQ"),
+    "schbench": (cmd_schbench, "Table 4 quick run: schbench latencies"),
+    "rocksdb": (cmd_rocksdb, "Figure 2 quick run: dispersed load"),
+    "upgrade": (cmd_upgrade, "Section 5.7 quick run: live upgrade pause"),
+    "fairness": (cmd_fairness, "Appendix A.1 quick run: fair sharing"),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list experiments")
+
+    p = sub.add_parser("pipe", help=EXPERIMENTS["pipe"][1])
+    p.add_argument("--rounds", type=int, default=1500)
+
+    p = sub.add_parser("schbench", help=EXPERIMENTS["schbench"][1])
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--duration-ms", type=int, default=400)
+    p.add_argument("--big", action="store_true",
+                   help="use the 80-CPU topology")
+
+    p = sub.add_parser("rocksdb", help=EXPERIMENTS["rocksdb"][1])
+    p.add_argument("--load", type=int, default=40_000)
+    p.add_argument("--duration-ms", type=int, default=200)
+
+    sub.add_parser("upgrade", help=EXPERIMENTS["upgrade"][1])
+    sub.add_parser("fairness", help=EXPERIMENTS["fairness"][1])
+
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("experiments:")
+        for name, (_fn, help_text) in EXPERIMENTS.items():
+            print(f"  {name:10s} {help_text}")
+        return 0
+    return EXPERIMENTS[args.command][0](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

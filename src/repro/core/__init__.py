@@ -1,0 +1,57 @@
+"""The Enoki framework.
+
+The layering mirrors the paper's Figure 1:
+
+* :mod:`~repro.core.enoki_c` (``Enoki-C``) — compiled into the kernel,
+  translates core-scheduler calls into *messages*, manages kernel state
+  (run-queue membership, task runtimes, :class:`Schedulable` tokens) on the
+  scheduler's behalf, and owns the hint/record infrastructure.
+* :mod:`~repro.core.libenoki` (``libEnoki``) — linked with the scheduler,
+  parses messages, dispatches to the :class:`EnokiScheduler` trait methods,
+  wraps locks for record/replay, and guards dispatch with the per-scheduler
+  read-write lock that live upgrade uses to quiesce.
+* the scheduler itself — pure policy code written against
+  :class:`~repro.core.trait.EnokiScheduler` (Table 1 of the paper).
+
+Plus the framework services: :mod:`~repro.core.upgrade` (live upgrade),
+:mod:`~repro.core.hints` (bidirectional user/kernel queues),
+:mod:`~repro.core.record` and :mod:`~repro.core.replay`.
+"""
+
+from repro.core.enoki_c import EnokiSchedClass
+from repro.core.errors import (
+    EnokiError,
+    QueueError,
+    ReplayMismatch,
+    TokenError,
+    UpgradeError,
+)
+from repro.core.hints import RevMessage, RingBuffer, UserMessage
+from repro.core.record import Recorder
+from repro.core.replay import ReplayEngine, load_trace
+from repro.core.schedulable import Schedulable, TokenRegistry
+from repro.core.trait import EnokiScheduler
+from repro.core.upgrade import UpgradeManager, UpgradeReport
+from repro.core.watchdog import SchedulerWatchdog, WatchdogReport
+
+__all__ = [
+    "EnokiError",
+    "EnokiSchedClass",
+    "EnokiScheduler",
+    "QueueError",
+    "Recorder",
+    "ReplayEngine",
+    "ReplayMismatch",
+    "RevMessage",
+    "RingBuffer",
+    "Schedulable",
+    "SchedulerWatchdog",
+    "TokenError",
+    "TokenRegistry",
+    "UpgradeError",
+    "UpgradeManager",
+    "UpgradeReport",
+    "WatchdogReport",
+    "UserMessage",
+    "load_trace",
+]

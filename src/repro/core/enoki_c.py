@@ -1,0 +1,410 @@
+"""Enoki-C: the kernel-compiled half of the framework.
+
+``EnokiSchedClass`` implements the raw
+:class:`~repro.simkernel.sched_class.SchedClass` interface on behalf of an
+:class:`~repro.core.trait.EnokiScheduler`.  It does the unsafe work the
+paper assigns to Enoki-C (section 3):
+
+* pulls information out of kernel task structs (runtimes, CPUs, priorities)
+  and packages it into per-function messages;
+* manages run-queue membership and migrations — the scheduler never touches
+  kernel state;
+* mints and validates :class:`~repro.core.schedulable.Schedulable` tokens,
+  routing validation failures to ``pnt_err`` instead of crashing;
+* owns the hint-queue plumbing and the record ring;
+* charges the framework's per-invocation dispatch overhead (the paper's
+  measured 100–150 ns) into the kernel's cost accounting.
+"""
+
+from repro.core import messages as msgs
+from repro.core.hints import QueueRegistry, RevMessage, RingBuffer, UserMessage
+from repro.core.libenoki import LibEnoki
+from repro.core.schedulable import TokenRegistry
+from repro.simkernel.sched_class import SchedClass
+
+
+class EnokiSchedClass(SchedClass):
+    """The kernel-side shim hosting one loadable Enoki scheduler."""
+
+    name = "enoki"
+
+    def __init__(self, scheduler, policy, recorder=None):
+        super().__init__()
+        self.policy = policy
+        self.tokens = TokenRegistry()
+        self.queues = QueueRegistry()
+        self.recorder = recorder
+        self.lib = LibEnoki(scheduler, enoki_c=self, recorder=recorder)
+        #: set by the upgrade manager: dispatches before this virtual time
+        #: are delayed by the quiesce blackout (section 3.2's limitation)
+        self.blocked_until_ns = 0
+        self._pending_blackout_ns = 0
+        self._armed_timers = {}
+        self._extra_cost_ns = 0
+
+    # ------------------------------------------------------------------
+    # registration convenience
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def register(cls, kernel, scheduler, policy, priority=10, recorder=None):
+        """Load ``scheduler`` into ``kernel`` under ``policy``."""
+        shim = cls(scheduler, policy, recorder=recorder)
+        kernel.register_sched_class(shim, priority=priority)
+        kernel.register_hint_handler(policy, shim)
+        return shim
+
+    @property
+    def scheduler(self):
+        return self.lib.scheduler
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+
+    def invocation_cost_ns(self, hook):
+        # The framework's dispatch overhead comes on top of the ordinary
+        # in-kernel scheduling bookkeeping (paper: "100-150 ns of overhead
+        # per invocation of the Enoki scheduler").
+        cost = super().invocation_cost_ns(hook)
+        cost += self.kernel.config.enoki_call_ns
+        if self.recorder is not None and self.recorder.active:
+            cost += self.kernel.config.record_overhead_ns
+        if self._pending_blackout_ns:
+            # First dispatch after an upgrade pays the remaining blackout.
+            cost += self._pending_blackout_ns
+            self._pending_blackout_ns = 0
+        return cost
+
+    def note_upgrade_blackout(self, pause_ns):
+        """The upgrade manager reports a quiesce window; the next dispatch
+        on any CPU is delayed by it."""
+        self.blocked_until_ns = self.kernel.now + pause_ns
+        self._pending_blackout_ns = pause_ns
+
+    # ------------------------------------------------------------------
+    # dispatch helper
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, message, extra=None):
+        thread = self._current_thread()
+        return self.lib.dispatch(message, thread=thread, extra=extra)
+
+    def _current_thread(self):
+        """The kernel thread id for record tagging: the handling CPU."""
+        if self.kernel is None:
+            return -1
+        # Attribute work to the CPU whose run queue is being manipulated;
+        # the kernel core runs one context at a time so this is exact.
+        return self._thread_hint
+
+    _thread_hint = -1
+
+    def _with_thread(self, cpu):
+        self._thread_hint = cpu
+        return cpu
+
+    # ------------------------------------------------------------------
+    # SchedClass: placement
+    # ------------------------------------------------------------------
+
+    def select_task_rq(self, task, prev_cpu, wake_flags, waker_cpu=-1):
+        self._with_thread(prev_cpu if prev_cpu >= 0 else 0)
+        allowed = (
+            tuple(sorted(task.allowed_cpus))
+            if task.allowed_cpus is not None else None
+        )
+        cpu = self._dispatch(msgs.MsgSelectTaskRq(
+            pid=task.pid,
+            prev_cpu=prev_cpu,
+            waker_cpu=waker_cpu,
+            wake_flags=wake_flags,
+            allowed_cpus=allowed,
+        ))
+        return self._sanitize_cpu(cpu, task, prev_cpu)
+
+    def _sanitize_cpu(self, cpu, task, prev_cpu):
+        """Enoki-C guards the kernel against bad placement answers."""
+        nr = self.kernel.topology.nr_cpus
+        if isinstance(cpu, int) and 0 <= cpu < nr and task.can_run_on(cpu):
+            return cpu
+        if task.can_run_on(prev_cpu) and 0 <= prev_cpu < nr:
+            return prev_cpu
+        for candidate in self.kernel.topology.all_cpus():
+            if task.can_run_on(candidate):
+                return candidate
+        return 0
+
+    # ------------------------------------------------------------------
+    # SchedClass: state tracking
+    # ------------------------------------------------------------------
+
+    def task_new(self, task, cpu):
+        self._with_thread(cpu)
+        token = self.tokens.issue(task.pid, cpu)
+        self._dispatch(msgs.MsgTaskNew(
+            pid=task.pid,
+            tgid=task.tgid,
+            runtime=task.sum_exec_runtime_ns,
+            runnable=True,
+            prio=task.nice,
+            sched=token,
+        ))
+
+    def task_wakeup(self, task, cpu):
+        self._with_thread(cpu)
+        token = self.tokens.issue(task.pid, cpu)
+        self._dispatch(msgs.MsgTaskWakeup(
+            pid=task.pid,
+            agent_data=0,
+            deferrable=bool(task.wakeup_flags),
+            last_run_cpu=task.cpu,
+            wake_up_cpu=cpu,
+            waker_cpu=cpu,
+            sched=token,
+        ))
+
+    def task_blocked(self, task, cpu):
+        self._with_thread(cpu)
+        self.tokens.revoke(task.pid)
+        self._dispatch(msgs.MsgTaskBlocked(
+            pid=task.pid,
+            runtime=task.sum_exec_runtime_ns,
+            cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
+            cpu=cpu,
+            from_switchto=False,
+        ))
+
+    def task_yield(self, task, cpu):
+        self._with_thread(cpu)
+        token = self.tokens.issue(task.pid, cpu)
+        self._dispatch(msgs.MsgTaskYield(
+            pid=task.pid,
+            runtime=task.sum_exec_runtime_ns,
+            cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
+            cpu=cpu,
+            from_switchto=False,
+            sched=token,
+        ))
+
+    def task_preempt(self, task, cpu):
+        self._with_thread(cpu)
+        token = self.tokens.issue(task.pid, cpu)
+        self._dispatch(msgs.MsgTaskPreempt(
+            pid=task.pid,
+            runtime=task.sum_exec_runtime_ns,
+            cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
+            cpu=cpu,
+            from_switchto=False,
+            was_latched=False,
+            sched=token,
+        ))
+
+    def task_dead(self, pid):
+        self.tokens.revoke(pid)
+        self._dispatch(msgs.MsgTaskDead(pid=pid))
+
+    def task_departed(self, task, cpu):
+        self._with_thread(cpu)
+        returned = self._dispatch(msgs.MsgTaskDeparted(
+            pid=task.pid,
+            cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
+            cpu=cpu,
+            from_switchto=False,
+            was_current=False,
+        ))
+        if self.tokens.is_valid(returned):
+            self.tokens.consume(returned)
+        else:
+            self.tokens.revoke(task.pid)
+
+    def task_prio_changed(self, task, cpu):
+        self._with_thread(cpu)
+        self._dispatch(msgs.MsgTaskPrioChanged(pid=task.pid, prio=task.nice))
+
+    def task_affinity_changed(self, task, cpu):
+        self._with_thread(cpu)
+        mask = (
+            tuple(sorted(task.allowed_cpus))
+            if task.allowed_cpus is not None
+            else tuple(self.kernel.topology.all_cpus())
+        )
+        self._dispatch(msgs.MsgTaskAffinityChanged(
+            pid=task.pid, cpumask=mask,
+        ))
+
+    # ------------------------------------------------------------------
+    # SchedClass: core decisions
+    # ------------------------------------------------------------------
+
+    def pick_next_task(self, cpu):
+        self._with_thread(cpu)
+        rq = self.kernel.rqs[cpu]
+        mine = {
+            pid: t.sum_exec_runtime_ns
+            for pid, t in rq.queued.items() if t.policy == self.policy
+        }
+        response = self._dispatch(msgs.MsgPickNextTask(
+            cpu=cpu,
+            curr_pid=None,
+            curr_runtime=None,
+            runtimes=mine,
+        ))
+        if response is None:
+            return None
+        token = response
+        valid = (
+            self.tokens.is_valid(token, cpu=cpu)
+            and rq.has(token.pid)
+            and self.kernel.tasks[token.pid].policy == self.policy
+        )
+        if not valid:
+            # Return ownership to the scheduler through pnt_err and leave
+            # the CPU to the next class — never crash (section 3.1).
+            self.kernel.stats.pick_errors += 1
+            pid = token.pid if hasattr(token, "pid") else -1
+            self._dispatch(msgs.MsgPntErr(
+                cpu=cpu, pid=pid, err=1, sched=token,
+            ))
+            return None
+        self.tokens.consume(token)
+        # Being scheduled invalidates the spent proof; the task will get a
+        # fresh token at its next state change.
+        return token.pid
+
+    def balance(self, cpu):
+        self._with_thread(cpu)
+        pid = self._dispatch(msgs.MsgBalance(cpu=cpu))
+        if pid is None:
+            return None
+        task = self.kernel.tasks.get(pid)
+        if task is None or task.policy != self.policy:
+            self._dispatch(msgs.MsgBalanceErr(
+                cpu=cpu, pid=pid if isinstance(pid, int) else -1,
+                err=2, sched=None,
+            ))
+            return None
+        return pid
+
+    def balance_err(self, cpu, pid):
+        self._with_thread(cpu)
+        self._dispatch(msgs.MsgBalanceErr(cpu=cpu, pid=pid, err=1,
+                                          sched=None))
+
+    def migrate_task_rq(self, task, new_cpu):
+        self._with_thread(new_cpu)
+        token = self.tokens.issue(task.pid, new_cpu)
+        old = self._dispatch(msgs.MsgMigrateTaskRq(
+            pid=task.pid, new_cpu=new_cpu, sched=token,
+        ))
+        # The scheduler must hand back the old core's token.  Issuing the
+        # new one already invalidated it, so a scheduler that keeps the
+        # wrong token (the case the paper admits it cannot prevent) holds
+        # only a useless stale proof.
+        if old is not None and getattr(old, "consumed", True) is False:
+            old._consumed = True
+
+    def update_curr(self, task, delta_ns):
+        # Enoki-C tracks runtimes on the scheduler's behalf; the values are
+        # forwarded inside messages, so nothing to dispatch here.
+        pass
+
+    def task_tick(self, cpu, task):
+        self._with_thread(cpu)
+        self._dispatch(msgs.MsgTaskTick(
+            cpu=cpu,
+            queued=self.kernel.rqs[cpu].nr_queued > 0,
+            pid=task.pid if task is not None else None,
+            runtime=task.sum_exec_runtime_ns if task is not None else 0,
+        ))
+
+    def wakeup_preempt(self, cpu, task):
+        # Enoki schedulers re-evaluate at the next tick (or via their own
+        # resched timers); matches the paper's description of CFS-style
+        # wakeup preemption happening "when a system timer ticks".
+        return "tick"
+
+    # ------------------------------------------------------------------
+    # timers (EnokiEnv backend)
+    # ------------------------------------------------------------------
+
+    def arm_resched_timer(self, cpu, delay_ns):
+        existing = self._armed_timers.get(cpu)
+        if existing is not None and existing.active:
+            existing.cancel()
+        self._extra_cost_ns += self.kernel.config.timer_arm_cost_ns
+        self._armed_timers[cpu] = self.kernel.timers.arm(
+            delay_ns,
+            lambda _t, c=cpu: self.kernel.resched_cpu(c, when="now"),
+            tag=("enoki-resched", cpu),
+        )
+
+    def consume_extra_cost_ns(self):
+        cost = self._extra_cost_ns
+        self._extra_cost_ns = 0
+        return cost
+
+    # ------------------------------------------------------------------
+    # hints (kernel hint-handler interface + EnokiEnv backend)
+    # ------------------------------------------------------------------
+
+    def ensure_user_queue(self, tgid):
+        """Create (once) the user-to-kernel hint ring for a process."""
+        for queue_id, ring in self.queues.user_queues.items():
+            if ring.name == f"user-{tgid}":
+                return queue_id
+        ring = RingBuffer(self.kernel.config.ring_buffer_capacity,
+                          name=f"user-{tgid}")
+        queue_id = self._dispatch(msgs.MsgRegisterQueue(queue_id=0),
+                                  extra=ring)
+        self.queues.add_user_queue(queue_id, ring)
+        return queue_id
+
+    def ensure_rev_queue(self, tgid):
+        """Create (once) the kernel-to-user ring for a process."""
+        existing = self.queues.rev_by_tgid.get(tgid)
+        if existing is not None:
+            return existing
+        ring = RingBuffer(self.kernel.config.ring_buffer_capacity,
+                          name=f"rev-{tgid}")
+        queue_id = self._dispatch(
+            msgs.MsgRegisterReverseQueue(queue_id=0), extra=ring,
+        )
+        self.queues.add_rev_queue(queue_id, ring, tgid=tgid)
+        return queue_id
+
+    def send_hint(self, task, payload):
+        """Kernel hint-handler hook: a task executed a SendHint op."""
+        queue_id = self.ensure_user_queue(task.tgid)
+        ring = self.queues.user_queues[queue_id]
+        if not ring.push(UserMessage(task.pid, payload)):
+            return False
+        self._with_thread(task.cpu)
+        if self.recorder is not None and self.recorder.active:
+            # "LibEnoki records each call and hint sent to the scheduler"
+            # (section 3.4): the replay refills the ring from this entry.
+            self.recorder.note_hint(queue_id, task.pid, payload, task.cpu)
+        self._dispatch(msgs.MsgEnterQueue(queue_id=queue_id,
+                                          entries=len(ring)))
+        return True
+
+    def drain_rev(self, task):
+        """Kernel hint-handler hook: a task executed a RecvHints op."""
+        ring = self.queues.rev_queue_for_tgid(task.tgid)
+        if ring is None:
+            return []
+        return [entry.payload for entry in ring.drain()]
+
+    def push_rev_message(self, queue_id, payload):
+        """EnokiEnv backend: scheduler sends a kernel-to-user message."""
+        ring = self.queues.rev_queues.get(queue_id)
+        if ring is None:
+            return False
+        return ring.push(RevMessage(payload))
+
+    # ------------------------------------------------------------------
+    # user-queue access for Enoki schedulers' default trait helpers
+    # ------------------------------------------------------------------
+
+    def user_ring(self, queue_id):
+        return self.queues.user_queues.get(queue_id)

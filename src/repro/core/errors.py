@@ -1,0 +1,30 @@
+"""Exceptions raised by the Enoki framework."""
+
+
+class EnokiError(Exception):
+    """Base class for framework errors."""
+
+
+class TokenError(EnokiError):
+    """A ``Schedulable`` token was misused (copied, forged, double-used).
+
+    In the Rust implementation these misuses are compile-time errors; the
+    Python reproduction raises at the moment of misuse instead.
+    """
+
+
+class UpgradeError(EnokiError):
+    """A live upgrade could not be performed (e.g. transfer-state type
+    mismatch between the outgoing and incoming scheduler versions)."""
+
+
+class QueueError(EnokiError):
+    """Hint queue misuse (bad id, double registration, ...)."""
+
+
+class ReplayMismatch(EnokiError):
+    """A replayed scheduler returned a different response than recorded."""
+
+
+class RecordError(EnokiError):
+    """The record infrastructure failed (unknown entry kinds, etc.)."""

@@ -1,0 +1,144 @@
+"""Bidirectional user/kernel hint queues (paper section 3.3).
+
+Hints travel through fixed-capacity ring buffers shared across the
+user/kernel boundary.  A scheduler that supports hints registers a
+user-to-kernel queue (``UserMessage`` entries) and optionally a
+kernel-to-user *reverse* queue (``RevMessage`` entries).  Payload types are
+scheduler-defined; the framework only requires that they be plain data
+(read-sharable across the boundary, as the paper puts it).
+
+The record subsystem reuses :class:`RingBuffer` for its event channel
+(section 3.4 uses "a ring buffer queue shared with Enoki-C" for exactly
+this reason).
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import QueueError
+
+
+@dataclass(frozen=True)
+class UserMessage:
+    """A user-to-kernel hint: sender pid plus scheduler-defined payload."""
+
+    pid: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class RevMessage:
+    """A kernel-to-user message with a scheduler-defined payload."""
+
+    payload: Any
+
+
+class RingBuffer:
+    """A bounded FIFO that drops on overflow (and counts the drops).
+
+    Matches the paper's overrun semantics: "If the buffer overruns, events
+    may be dropped."
+    """
+
+    def __init__(self, capacity, name=None):
+        if capacity <= 0:
+            raise QueueError(f"ring buffer capacity must be positive: "
+                             f"{capacity}")
+        self.capacity = capacity
+        self.name = name or "ring"
+        self._entries = deque()
+        self.pushed = 0
+        self.dropped = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def full(self):
+        return len(self._entries) >= self.capacity
+
+    def push(self, entry):
+        """Append an entry; returns False (and counts a drop) when full."""
+        if self.full:
+            self.dropped += 1
+            return False
+        self._entries.append(entry)
+        self.pushed += 1
+        return True
+
+    def pop(self):
+        """Remove and return the oldest entry, or None when empty."""
+        if self._entries:
+            return self._entries.popleft()
+        return None
+
+    def drain(self, limit=None):
+        """Pop up to ``limit`` entries (all of them by default)."""
+        out = []
+        while self._entries and (limit is None or len(out) < limit):
+            out.append(self._entries.popleft())
+        return out
+
+    def peek_all(self):
+        """Non-destructive snapshot (used by tests)."""
+        return list(self._entries)
+
+    def __repr__(self):
+        return (
+            f"RingBuffer({self.name!r}, {len(self._entries)}/"
+            f"{self.capacity}, dropped={self.dropped})"
+        )
+
+
+class QueueRegistry:
+    """Enoki-C's table of hint queues for one loaded scheduler.
+
+    Tracks which ring buffer backs which queue id, in both directions, and
+    which process registered the reverse queue (so ``RecvHints`` ops drain
+    the right one).
+    """
+
+    def __init__(self):
+        self._next_id = 0
+        self.user_queues = {}      # queue_id -> RingBuffer[UserMessage]
+        self.rev_queues = {}       # queue_id -> RingBuffer[RevMessage]
+        self.rev_by_tgid = {}      # tgid -> queue_id
+
+    def new_queue_id(self):
+        self._next_id += 1
+        return self._next_id
+
+    def add_user_queue(self, queue_id, ring):
+        if queue_id in self.user_queues:
+            raise QueueError(f"user queue {queue_id} already registered")
+        self.user_queues[queue_id] = ring
+
+    def add_rev_queue(self, queue_id, ring, tgid=None):
+        if queue_id in self.rev_queues:
+            raise QueueError(f"reverse queue {queue_id} already registered")
+        self.rev_queues[queue_id] = ring
+        if tgid is not None:
+            self.rev_by_tgid[tgid] = queue_id
+
+    def remove_user_queue(self, queue_id):
+        ring = self.user_queues.pop(queue_id, None)
+        if ring is None:
+            raise QueueError(f"no user queue {queue_id}")
+        return ring
+
+    def remove_rev_queue(self, queue_id):
+        ring = self.rev_queues.pop(queue_id, None)
+        if ring is None:
+            raise QueueError(f"no reverse queue {queue_id}")
+        self.rev_by_tgid = {
+            tgid: qid for tgid, qid in self.rev_by_tgid.items()
+            if qid != queue_id
+        }
+        return ring
+
+    def rev_queue_for_tgid(self, tgid):
+        queue_id = self.rev_by_tgid.get(tgid)
+        if queue_id is None:
+            return None
+        return self.rev_queues.get(queue_id)

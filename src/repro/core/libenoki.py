@@ -1,0 +1,209 @@
+"""libEnoki: the library linked with the scheduler module.
+
+It owns the message dispatch ("the processing function in libEnoki parses
+each message to determine which scheduler function is being invoked",
+section 3.1), the per-scheduler read-write lock used for quiescing, the
+recorded lock wrappers, and the :class:`EnokiEnv` facade through which
+scheduler code reaches the few kernel services it may use (locks, resched
+timers, reverse hint queues).
+"""
+
+import threading
+from dataclasses import fields
+
+from repro.core import messages as msgs
+from repro.core.errors import EnokiError
+from repro.core.hints import UserMessage
+from repro.core.rwlock import SchedulerRwLock
+
+
+class EnokiSpinLock:
+    """A scheduler-visible lock.
+
+    In the simulated kernel there is no true concurrency, so acquisition
+    never blocks — but every acquire/release is reported to the lock
+    observer with the acquiring kernel-thread id, which is exactly the
+    stream the record/replay system needs (section 3.4: "we include
+    recording functionality in the shim wrappers around the kernel lock
+    functions").
+    """
+
+    __slots__ = ("lock_id", "name", "_env", "_held_by")
+
+    def __init__(self, lock_id, name, env):
+        self.lock_id = lock_id
+        self.name = name
+        self._env = env
+        self._held_by = None
+
+    def acquire(self):
+        if self._held_by is not None:
+            raise EnokiError(
+                f"lock {self.name} re-acquired while held by thread "
+                f"{self._held_by} (self-deadlock)"
+            )
+        self._held_by = self._env.current_thread
+        self._env.note_lock_op("acquire", self.lock_id)
+
+    def release(self):
+        if self._held_by is None:
+            raise EnokiError(f"lock {self.name} released while not held")
+        self._held_by = None
+        self._env.note_lock_op("release", self.lock_id)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+
+class EnokiEnv:
+    """The only view of the kernel an Enoki scheduler gets.
+
+    Deliberately excludes a clock: all timing information reaches the
+    scheduler inside messages, which is what makes record/replay exact
+    (section 3.4's determinism assumption).
+    """
+
+    def __init__(self, enoki_c=None, recorder=None):
+        self._enoki_c = enoki_c
+        self.recorder = recorder
+        # Thread-local so the threaded replayer can dispatch concurrently.
+        self._tls = threading.local()
+        self._next_lock_id = 0
+        self.locks = []
+
+    @property
+    def current_thread(self):
+        return getattr(self._tls, "thread", -1)
+
+    @current_thread.setter
+    def current_thread(self, value):
+        self._tls.thread = value
+
+    # -- locks ------------------------------------------------------------
+
+    def create_lock(self, name=None):
+        self._next_lock_id += 1
+        lock = EnokiSpinLock(
+            self._next_lock_id, name or f"lock-{self._next_lock_id}", self
+        )
+        self.locks.append(lock)
+        if self.recorder is not None:
+            self.recorder.note_lock_created(self._next_lock_id, lock.name)
+        return lock
+
+    def note_lock_op(self, op, lock_id):
+        if self.recorder is not None:
+            self.recorder.note_lock_op(op, lock_id, self.current_thread)
+
+    # -- timers ------------------------------------------------------------
+
+    def start_resched_timer(self, cpu, delay_ns):
+        """Arm a one-shot preemption timer on ``cpu``.
+
+        When it fires the kernel reschedules the CPU, producing the usual
+        ``task_preempt`` / ``pick_next_task`` sequence.  The Enoki Shinjuku
+        scheduler arms one of these on every pick (section 4.2.2).
+        """
+        if self.recorder is not None:
+            self.recorder.note_output(
+                "timer", {"cpu": cpu, "delay_ns": delay_ns},
+                self.current_thread,
+            )
+        if self._enoki_c is not None:
+            self._enoki_c.arm_resched_timer(cpu, delay_ns)
+
+    # -- reverse hint queue --------------------------------------------------
+
+    def send_rev_message(self, queue_id, payload):
+        """Push a kernel-to-user message onto a registered reverse queue."""
+        if self.recorder is not None:
+            self.recorder.note_output(
+                "rev_msg", {"queue_id": queue_id, "payload": payload},
+                self.current_thread,
+            )
+        if self._enoki_c is not None:
+            return self._enoki_c.push_rev_message(queue_id, payload)
+        return True
+
+
+class LibEnoki:
+    """Dispatch messages to one scheduler instance, under the rwlock."""
+
+    def __init__(self, scheduler, enoki_c=None, recorder=None, env=None):
+        self.scheduler = scheduler
+        self.rwlock = SchedulerRwLock(
+            name=f"enoki-{type(scheduler).__name__}"
+        )
+        self.recorder = recorder
+        self.env = env if env is not None else EnokiEnv(enoki_c, recorder)
+        scheduler.set_env(self.env)
+        scheduler.module_init()
+
+    def dispatch(self, message, thread=-1, extra=None):
+        """Process one message: lock, invoke, record, return the response.
+
+        ``extra`` carries out-of-band payloads (ring buffers for queue
+        registration, the transfer structure for ``reregister_init``) that
+        are passed by reference rather than through the message, exactly as
+        the real implementation shares memory under the message-passing
+        interface (section 6).
+        """
+        if not self.rwlock.acquire_read(blocking=False):
+            raise EnokiError(
+                "dispatch while the upgrade writer holds the lock"
+            )
+        previous_thread = self.env.current_thread
+        self.env.current_thread = thread
+        try:
+            response = self._invoke(message, extra)
+        finally:
+            self.env.current_thread = previous_thread
+            self.rwlock.release_read()
+        if self.recorder is not None:
+            self.recorder.note_call(message, response, thread)
+        return response
+
+    def dispatch_locked(self, message, thread=-1, extra=None):
+        """Dispatch while the caller holds the upgrade write lock.
+
+        Only the upgrade manager uses this, for ``reregister_prepare`` /
+        ``reregister_init`` — the one situation where the module must be
+        entered with the readers excluded (section 3.2).
+        """
+        if not self.rwlock.write_held:
+            raise EnokiError("dispatch_locked without the write lock")
+        previous_thread = self.env.current_thread
+        self.env.current_thread = thread
+        try:
+            response = self._invoke(message, extra)
+        finally:
+            self.env.current_thread = previous_thread
+        if self.recorder is not None:
+            self.recorder.note_call(message, response, thread)
+        return response
+
+    def _invoke(self, message, extra):
+        sched = self.scheduler
+        if isinstance(message, msgs.MsgParseHint):
+            return sched.parse_hint(UserMessage(message.pid, message.payload))
+        if isinstance(message, msgs.MsgRegisterQueue):
+            return sched.register_queue(extra)
+        if isinstance(message, msgs.MsgRegisterReverseQueue):
+            return sched.register_reverse_queue(extra)
+        if isinstance(message, msgs.MsgReregisterPrepare):
+            return sched.reregister_prepare()
+        if isinstance(message, msgs.MsgReregisterInit):
+            return sched.reregister_init(extra)
+        method = getattr(sched, message.FUNCTION, None)
+        if method is None:
+            raise EnokiError(
+                f"scheduler {type(sched).__name__} lacks "
+                f"{message.FUNCTION}"
+            )
+        args = [getattr(message, f.name) for f in fields(message)]
+        return method(*args)

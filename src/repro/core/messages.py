@@ -1,0 +1,301 @@
+"""Per-function message types for the Enoki-C <-> libEnoki interface.
+
+Paper, section 3.1:
+
+    "Enoki-C takes the interface defined by the core scheduler code and
+    translates it into an interface based on message passing. [...] This
+    information is placed into per-function type 'message' data structures
+    that are passed to the registered processing function in libEnoki."
+
+Each message carries everything the scheduler needs — including the task
+runtime that Enoki-C tracks on the scheduler's behalf — so the scheduler
+never touches kernel state.  Messages also know how to serialise themselves
+for the record log (``to_record``) and how to be rebuilt during replay
+(``from_record``): ``Schedulable`` payloads are serialised as plain
+descriptions and re-minted by the replay engine's registry.
+"""
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
+
+from repro.core.schedulable import Schedulable
+
+_MESSAGE_TYPES = {}
+
+
+def _register(cls):
+    _MESSAGE_TYPES[cls.__name__] = cls
+    return cls
+
+
+def message_type(name):
+    """Look up a message class by its recorded name."""
+    return _MESSAGE_TYPES[name]
+
+
+@dataclass
+class Message:
+    """Base message: named after the trait function it invokes."""
+
+    #: trait method this message dispatches to (set per subclass)
+    FUNCTION = None
+
+    def to_record(self):
+        """Serialise to plain data for the record log."""
+        payload = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Schedulable):
+                payload[f.name] = {"__schedulable__": value.describe()}
+            else:
+                payload[f.name] = value
+        return {"type": type(self).__name__, "fields": payload}
+
+    @classmethod
+    def from_record(cls, record, token_minter):
+        """Rebuild a message from a record entry.
+
+        ``token_minter(description)`` supplies fresh ``Schedulable`` tokens
+        for serialised token fields (the replay registry mints them).
+        """
+        klass = message_type(record["type"])
+        kwargs = {}
+        for name, value in record["fields"].items():
+            if isinstance(value, dict) and "__schedulable__" in value:
+                kwargs[name] = token_minter(value["__schedulable__"])
+            else:
+                kwargs[name] = value
+        return klass(**kwargs)
+
+
+@_register
+@dataclass
+class MsgPickNextTask(Message):
+    FUNCTION = "pick_next_task"
+    cpu: int = 0
+    curr_pid: Optional[int] = None
+    curr_runtime: Optional[int] = None
+    #: pid -> accumulated runtime of this CPU's queued tasks (Enoki-C
+    #: tracks runtimes on the scheduler's behalf, section 3.1)
+    runtimes: dict = field(default_factory=dict)
+
+
+@_register
+@dataclass
+class MsgPntErr(Message):
+    FUNCTION = "pnt_err"
+    cpu: int = 0
+    pid: int = 0
+    err: int = 0
+    sched: Optional[Schedulable] = None
+
+
+@_register
+@dataclass
+class MsgTaskNew(Message):
+    FUNCTION = "task_new"
+    pid: int = 0
+    tgid: int = 0
+    runtime: int = 0
+    runnable: bool = True
+    prio: int = 0
+    sched: Optional[Schedulable] = None
+
+
+@_register
+@dataclass
+class MsgTaskWakeup(Message):
+    FUNCTION = "task_wakeup"
+    pid: int = 0
+    agent_data: int = 0
+    deferrable: bool = False
+    last_run_cpu: int = -1
+    wake_up_cpu: int = -1
+    waker_cpu: int = -1
+    sched: Optional[Schedulable] = None
+
+
+@_register
+@dataclass
+class MsgTaskBlocked(Message):
+    FUNCTION = "task_blocked"
+    pid: int = 0
+    runtime: int = 0
+    cpu_seqnum: int = 0
+    cpu: int = -1
+    from_switchto: bool = False
+
+
+@_register
+@dataclass
+class MsgTaskPreempt(Message):
+    FUNCTION = "task_preempt"
+    pid: int = 0
+    runtime: int = 0
+    cpu_seqnum: int = 0
+    cpu: int = -1
+    from_switchto: bool = False
+    was_latched: bool = False
+    sched: Optional[Schedulable] = None
+
+
+@_register
+@dataclass
+class MsgTaskYield(Message):
+    FUNCTION = "task_yield"
+    pid: int = 0
+    runtime: int = 0
+    cpu_seqnum: int = 0
+    cpu: int = -1
+    from_switchto: bool = False
+    sched: Optional[Schedulable] = None
+
+
+@_register
+@dataclass
+class MsgTaskDead(Message):
+    FUNCTION = "task_dead"
+    pid: int = 0
+
+
+@_register
+@dataclass
+class MsgTaskDeparted(Message):
+    FUNCTION = "task_departed"
+    pid: int = 0
+    cpu_seqnum: int = 0
+    cpu: int = -1
+    from_switchto: bool = False
+    was_current: bool = False
+
+
+@_register
+@dataclass
+class MsgTaskAffinityChanged(Message):
+    FUNCTION = "task_affinity_changed"
+    pid: int = 0
+    cpumask: tuple = ()
+
+
+@_register
+@dataclass
+class MsgTaskPrioChanged(Message):
+    FUNCTION = "task_prio_changed"
+    pid: int = 0
+    prio: int = 0
+
+
+@_register
+@dataclass
+class MsgTaskTick(Message):
+    FUNCTION = "task_tick"
+    cpu: int = 0
+    queued: bool = False
+    pid: Optional[int] = None
+    runtime: int = 0
+
+
+@_register
+@dataclass
+class MsgSelectTaskRq(Message):
+    FUNCTION = "select_task_rq"
+    pid: int = 0
+    prev_cpu: int = -1
+    waker_cpu: int = -1
+    wake_flags: int = 0
+    allowed_cpus: Optional[tuple] = None
+
+
+@_register
+@dataclass
+class MsgMigrateTaskRq(Message):
+    FUNCTION = "migrate_task_rq"
+    pid: int = 0
+    new_cpu: int = -1
+    sched: Optional[Schedulable] = None
+
+
+@_register
+@dataclass
+class MsgBalance(Message):
+    FUNCTION = "balance"
+    cpu: int = 0
+
+
+@_register
+@dataclass
+class MsgBalanceErr(Message):
+    FUNCTION = "balance_err"
+    cpu: int = 0
+    pid: int = 0
+    err: int = 0
+    sched: Optional[Schedulable] = None
+
+
+@_register
+@dataclass
+class MsgRegisterQueue(Message):
+    FUNCTION = "register_queue"
+    queue_id: int = 0
+
+
+@_register
+@dataclass
+class MsgRegisterReverseQueue(Message):
+    FUNCTION = "register_reverse_queue"
+    queue_id: int = 0
+
+
+@_register
+@dataclass
+class MsgEnterQueue(Message):
+    FUNCTION = "enter_queue"
+    queue_id: int = 0
+    entries: int = 0
+
+
+@_register
+@dataclass
+class MsgUnregisterQueue(Message):
+    FUNCTION = "unregister_queue"
+    queue_id: int = 0
+
+
+@_register
+@dataclass
+class MsgUnregisterRevQueue(Message):
+    FUNCTION = "unregister_rev_queue"
+    queue_id: int = 0
+
+
+@_register
+@dataclass
+class MsgParseHint(Message):
+    FUNCTION = "parse_hint"
+    pid: int = 0
+    payload: Any = None
+
+
+@_register
+@dataclass
+class MsgReregisterPrepare(Message):
+    FUNCTION = "reregister_prepare"
+
+
+@_register
+@dataclass
+class MsgReregisterInit(Message):
+    FUNCTION = "reregister_init"
+    # The transfer payload travels out of band (it is live state, passed
+    # by reference exactly as the paper describes); the message only notes
+    # that the call happened.
+    has_state: bool = False
+
+
+def response_to_record(value):
+    """Serialise a dispatch response for the record log."""
+    if isinstance(value, Schedulable):
+        return {"__schedulable__": value.describe()}
+    if isinstance(value, tuple):
+        return list(value)
+    return value

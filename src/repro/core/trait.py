@@ -1,0 +1,188 @@
+"""The ``EnokiScheduler`` trait (paper Table 1).
+
+An Enoki scheduler implements this interface and nothing else: it never
+touches kernel state, never sees raw task structs, and receives all timing
+information (task runtimes) in the message fields.  The framework
+(``libEnoki``/``Enoki-C``) calls these methods in the order the kernel core
+generates events; the scheduler only manages its own policy state.
+
+Token discipline summary (section 3.1):
+
+* ``task_new`` / ``task_wakeup`` / ``task_preempt`` / ``task_yield`` hand
+  the scheduler ownership of a fresh :class:`Schedulable` for the task.
+* ``pick_next_task`` must *return* a token as proof the chosen task can run
+  on the CPU; the framework validates it and calls ``pnt_err`` (returning
+  ownership) when the proof fails.
+* ``migrate_task_rq`` hands in a token for the new core and must return the
+  old core's token.
+* ``task_blocked`` / ``task_dead`` return nothing — the task may not be
+  schedulable at all at that point, so there may be nothing to return.
+"""
+
+from repro.core.errors import EnokiError
+
+
+class EnokiScheduler:
+    """Base class for Enoki schedulers.  Subclass and implement policy.
+
+    ``env`` (an :class:`~repro.core.libenoki.EnokiEnv`) is injected before
+    any callback runs; schedulers use it to create locks and arm resched
+    timers — never to read the clock, which keeps them deterministic for
+    record/replay (section 3.4's assumption).
+    """
+
+    #: type of the state structure passed across a live upgrade; the
+    #: incoming version must declare the same type (section 3.2).
+    TRANSFER_TYPE = None
+
+    def __init__(self):
+        self.env = None
+        self._user_queues = {}
+        self._rev_queues = {}
+        self._queue_seq = 0
+
+    def set_env(self, env):
+        self.env = env
+
+    def module_init(self):
+        """Called once when the module is loaded (env is available).
+
+        Create locks here — not in ``__init__`` — so that a scheduler
+        instance built for a live upgrade gets replay-consistent lock ids.
+        """
+
+    # -- identity -----------------------------------------------------------
+
+    def get_policy(self):
+        """The policy number user tasks use to select this scheduler."""
+        raise NotImplementedError
+
+    # -- core decisions -------------------------------------------------------
+
+    def pick_next_task(self, cpu, curr_pid, curr_runtime, runtimes):
+        """Pick the next task for ``cpu``.
+
+        Returns the :class:`Schedulable` of the chosen task (spending it),
+        or None to leave the CPU to a lower-priority scheduling class.
+        ``runtimes`` maps the pids this scheduler queued on ``cpu`` to their
+        accumulated runtimes, as tracked by Enoki-C.
+        """
+        raise NotImplementedError
+
+    def pnt_err(self, cpu, pid, err, sched):
+        """The token returned from ``pick_next_task`` failed validation;
+        ownership of it comes back via ``sched``."""
+
+    def select_task_rq(self, pid, prev_cpu, waker_cpu, wake_flags,
+                       allowed_cpus):
+        """Choose the CPU a waking/new task should be queued on."""
+        raise NotImplementedError
+
+    def balance(self, cpu):
+        """Return the pid of a task queued elsewhere to pull to ``cpu``,
+        or None."""
+        return None
+
+    def balance_err(self, cpu, pid, err, sched):
+        """The requested pull failed; any in-flight token returns here."""
+
+    def migrate_task_rq(self, pid, new_cpu, sched):
+        """The task moved to ``new_cpu``; ``sched`` is its new token.
+
+        Must return the *old* token (or None if the scheduler no longer
+        holds one — the framework treats that as a stale-token bug it
+        cannot always prevent, exactly as the paper concedes).
+        """
+        raise NotImplementedError
+
+    # -- task state tracking ---------------------------------------------------
+
+    def task_new(self, pid, tgid, runtime, runnable, prio, sched):
+        raise NotImplementedError
+
+    def task_wakeup(self, pid, agent_data, deferrable, last_run_cpu,
+                    wake_up_cpu, waker_cpu, sched):
+        raise NotImplementedError
+
+    def task_blocked(self, pid, runtime, cpu_seqnum, cpu, from_switchto):
+        raise NotImplementedError
+
+    def task_preempt(self, pid, runtime, cpu_seqnum, cpu, from_switchto,
+                     was_latched, sched):
+        raise NotImplementedError
+
+    def task_yield(self, pid, runtime, cpu_seqnum, cpu, from_switchto,
+                   sched):
+        # Default: treat a yield like a preemption (back of the queue).
+        self.task_preempt(pid, runtime, cpu_seqnum, cpu, from_switchto,
+                          False, sched)
+
+    def task_dead(self, pid):
+        raise NotImplementedError
+
+    def task_departed(self, pid, cpu_seqnum, cpu, from_switchto,
+                      was_current):
+        """The task left this scheduler; return its token if held."""
+        raise NotImplementedError
+
+    def task_affinity_changed(self, pid, cpumask):
+        pass
+
+    def task_prio_changed(self, pid, prio):
+        pass
+
+    def task_tick(self, cpu, queued, pid, runtime):
+        pass
+
+    # -- live upgrade ------------------------------------------------------------
+
+    def reregister_prepare(self):
+        """Quiesced: export the state structure for the next version."""
+        return None
+
+    def reregister_init(self, state):
+        """Initialise from the previous version's exported state."""
+        if state is not None:
+            raise EnokiError(
+                f"{type(self).__name__} received transfer state but does "
+                "not implement reregister_init"
+            )
+
+    # -- hints ---------------------------------------------------------------------
+    #
+    # The default implementations give every scheduler working hint
+    # plumbing: the framework registers ring buffers here, announces
+    # arrivals through ``enter_queue``, and the default drain feeds each
+    # entry to ``parse_hint`` — so a hint-using scheduler usually only
+    # implements ``parse_hint``.
+
+    def register_queue(self, queue):
+        """A user-to-kernel hint queue was attached; returns its id."""
+        self._queue_seq += 1
+        self._user_queues[self._queue_seq] = queue
+        return self._queue_seq
+
+    def register_reverse_queue(self, queue):
+        """A kernel-to-user queue was attached; returns its id."""
+        self._queue_seq += 1
+        self._rev_queues[self._queue_seq] = queue
+        return self._queue_seq
+
+    def enter_queue(self, queue_id, entries):
+        """``entries`` hints are waiting on queue ``queue_id``."""
+        queue = self._user_queues.get(queue_id)
+        if queue is None:
+            return
+        for hint in queue.drain(entries):
+            self.parse_hint(hint)
+
+    def unregister_queue(self, queue_id):
+        """Detach and return the user-to-kernel queue."""
+        return self._user_queues.pop(queue_id, None)
+
+    def unregister_rev_queue(self, queue_id):
+        """Detach and return the kernel-to-user queue."""
+        return self._rev_queues.pop(queue_id, None)
+
+    def parse_hint(self, hint):
+        """Synchronously handle one :class:`UserMessage` hint."""

@@ -1,0 +1,52 @@
+"""Scheduler implementations.
+
+Native (trusted, kernel-side) classes:
+
+* :class:`~repro.schedulers.cfs.CfsSchedClass` — the Linux CFS baseline.
+* :class:`~repro.schedulers.rt.RtSchedClass` — SCHED_FIFO/RR.
+* :class:`~repro.schedulers.fifo_native.NativeFifoClass` — a minimal
+  trusted FIFO, used by substrate tests and docs.
+* :mod:`~repro.schedulers.ghost` — the ghOSt comparison model.
+
+Enoki schedulers (implement :class:`repro.core.trait.EnokiScheduler` and
+are loaded through the framework):
+
+* :class:`~repro.schedulers.wfq.EnokiWfq` — weighted fair queuing
+  (paper section 4.2.1).
+* :class:`~repro.schedulers.fifo.EnokiFifo` — the paper's walk-through
+  scheduler (section 3.1).
+* :class:`~repro.schedulers.shinjuku.EnokiShinjuku` — section 4.2.2.
+* :class:`~repro.schedulers.locality.EnokiLocality` — section 4.2.3.
+* :class:`~repro.schedulers.arachne.EnokiCoreArbiter` — section 4.2.4.
+* :class:`~repro.schedulers.nest.EnokiNest` — a Nest-style warm-core
+  policy (the section 2 motivation, as an extension).
+* :class:`~repro.schedulers.eevdf.EnokiEevdf` — EEVDF, the policy that
+  replaced CFS in Linux 6.6, as a ~100-line trait implementation (the
+  development-velocity thesis, demonstrated forward).
+"""
+
+from repro.schedulers.arachne import EnokiCoreArbiter
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.deadline import DeadlineSchedClass
+from repro.schedulers.eevdf import EnokiEevdf
+from repro.schedulers.fifo import EnokiFifo
+from repro.schedulers.fifo_native import NativeFifoClass
+from repro.schedulers.locality import EnokiLocality
+from repro.schedulers.nest import EnokiNest
+from repro.schedulers.rt import RtSchedClass
+from repro.schedulers.shinjuku import EnokiShinjuku
+from repro.schedulers.wfq import EnokiWfq
+
+__all__ = [
+    "CfsSchedClass",
+    "DeadlineSchedClass",
+    "EnokiEevdf",
+    "EnokiCoreArbiter",
+    "EnokiFifo",
+    "EnokiLocality",
+    "EnokiNest",
+    "EnokiShinjuku",
+    "EnokiWfq",
+    "NativeFifoClass",
+    "RtSchedClass",
+]

@@ -1,0 +1,195 @@
+"""The Enoki Shinjuku scheduler (paper section 4.2.2).
+
+    "Our scheduler implements an approximation of a first-come-first-serve
+    queue of tasks with fast preemption across the multiple kernel
+    run-queues.  Our preemption slice is 10 us instead of 5 us to prevent
+    overloading the scheduler.  This scheduler was implemented in 285
+    lines of code."
+
+Mechanics:
+
+* A global arrival order (sequence numbers) is approximated over per-core
+  queues; when a core empties, ``balance`` pulls the globally-oldest
+  waiting task, keeping dispatch close to true FCFS.
+* Every pick re-arms a 10 us resched timer; the fired timer preempts the
+  running task, which re-enters the queue at the back — this is what keeps
+  long range-queries from blocking short GETs (Figure 2).
+* The paper notes this scheduler's slightly higher Table 3 latency comes
+  from arming the timer on every operation; the framework charges that
+  cost (``timer_arm_cost_ns``).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.trait import EnokiScheduler
+
+
+@dataclass
+class ShinjukuTransferState:
+    """State passed across a live upgrade of the Shinjuku scheduler."""
+
+    queues: dict = field(default_factory=dict)
+    next_seq: int = 0
+    generation: int = 1
+
+
+class EnokiShinjuku(EnokiScheduler):
+    """Centralised-FCFS approximation with microsecond-scale preemption."""
+
+    TRANSFER_TYPE = ShinjukuTransferState
+
+    def __init__(self, nr_cpus, policy=8, preemption_us=10,
+                 worker_cpus=None):
+        super().__init__()
+        self.nr_cpus = nr_cpus
+        self.policy = policy
+        self.preemption_ns = preemption_us * 1_000
+        #: the CPUs this scheduler will place tasks on (the RocksDB setup
+        #: reserves cores for the load generator and background work)
+        self.worker_cpus = (list(worker_cpus) if worker_cpus is not None
+                            else list(range(nr_cpus)))
+        self.queues = {cpu: [] for cpu in range(nr_cpus)}  # [(seq,pid,tok)]
+        self.next_seq = 0
+        self.generation = 1
+        self.lock = None
+
+    def module_init(self):
+        self.lock = self.env.create_lock("shinjuku-queues")
+
+    def get_policy(self):
+        return self.policy
+
+    # ------------------------------------------------------------------
+    # placement: shortest queue among the worker cores
+    # ------------------------------------------------------------------
+
+    def select_task_rq(self, pid, prev_cpu, waker_cpu, wake_flags,
+                       allowed_cpus):
+        candidates = [c for c in self.worker_cpus
+                      if allowed_cpus is None or c in allowed_cpus]
+        if not candidates:
+            candidates = (list(allowed_cpus) if allowed_cpus
+                          else list(range(self.nr_cpus)))
+        with self.lock:
+            return min(candidates, key=lambda c: len(self.queues[c]))
+
+    # ------------------------------------------------------------------
+    # FCFS state
+    # ------------------------------------------------------------------
+
+    def _push(self, sched, pid):
+        self.next_seq += 1
+        self.queues[sched.cpu].append((self.next_seq, pid, sched))
+
+    def _remove(self, pid):
+        token = None
+        for queue in self.queues.values():
+            for entry in list(queue):
+                if entry[1] == pid:
+                    queue.remove(entry)
+                    token = entry[2]
+        return token
+
+    def task_new(self, pid, tgid, runtime, runnable, prio, sched):
+        with self.lock:
+            self._push(sched, pid)
+
+    def task_wakeup(self, pid, agent_data, deferrable, last_run_cpu,
+                    wake_up_cpu, waker_cpu, sched):
+        with self.lock:
+            self._push(sched, pid)
+
+    def task_blocked(self, pid, runtime, cpu_seqnum, cpu, from_switchto):
+        with self.lock:
+            self._remove(pid)
+
+    def task_preempt(self, pid, runtime, cpu_seqnum, cpu, from_switchto,
+                     was_latched, sched):
+        # Preempted tasks go to the BACK of the global order: this is the
+        # Shinjuku processor-sharing approximation.
+        with self.lock:
+            self._push(sched, pid)
+
+    def task_dead(self, pid):
+        with self.lock:
+            self._remove(pid)
+
+    def task_departed(self, pid, cpu_seqnum, cpu, from_switchto,
+                      was_current):
+        with self.lock:
+            return self._remove(pid)
+
+    def migrate_task_rq(self, pid, new_cpu, sched):
+        with self.lock:
+            old = self._remove(pid)
+            # Keep the arrival order: re-insert with a preserved sequence
+            # if we knew it; the old entry is gone, so order by the front.
+            self.next_seq += 1
+            seq = self.next_seq
+            if old is not None:
+                # Preserve FCFS position as well as we can: adopt the
+                # minimum sequence currently queued minus a step.
+                seq = min(
+                    (entry[0] for queue in self.queues.values()
+                     for entry in queue), default=self.next_seq,
+                ) - 1
+            self.queues[new_cpu].append((seq, pid, sched))
+        return old
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def pick_next_task(self, cpu, curr_pid, curr_runtime, runtimes):
+        with self.lock:
+            queue = self.queues[cpu]
+            if not queue:
+                return None
+            queue.sort(key=lambda entry: entry[0])
+            _seq, _pid, token = queue.pop(0)
+        # Re-arm the preemption timer on every dispatch ("it starts a
+        # reschedule timer on every operation").
+        self.env.start_resched_timer(cpu, self.preemption_ns)
+        return token
+
+    def pnt_err(self, cpu, pid, err, sched):
+        if sched is not None:
+            with self.lock:
+                self._remove(sched.pid)
+
+    def balance(self, cpu):
+        """Approximate the global FCFS: an idle worker core pulls the
+        globally-oldest waiting task."""
+        if cpu not in self.worker_cpus:
+            return None
+        with self.lock:
+            if self.queues[cpu]:
+                return None
+            oldest = None
+            for other, queue in self.queues.items():
+                if other == cpu or not queue:
+                    continue
+                head = min(queue, key=lambda entry: entry[0])
+                if oldest is None or head[0] < oldest[0]:
+                    oldest = head
+            if oldest is None:
+                return None
+            return oldest[1]
+
+    # ------------------------------------------------------------------
+    # live upgrade
+    # ------------------------------------------------------------------
+
+    def reregister_prepare(self):
+        return ShinjukuTransferState(queues=self.queues,
+                                     next_seq=self.next_seq,
+                                     generation=self.generation)
+
+    def reregister_init(self, state):
+        if state is None:
+            return
+        self.queues = state.queues
+        self.next_seq = state.next_seq
+        self.generation = state.generation + 1
+        for cpu in range(self.nr_cpus):
+            self.queues.setdefault(cpu, [])

@@ -1,0 +1,297 @@
+"""The Enoki weighted-fair-queuing scheduler (paper section 4.2.1).
+
+    "Our version does not provide the full complexity of the [CFS]
+    algorithm ... We compute vruntime for per-core time slices but use a
+    much simpler method for determining task placement.  If a core is
+    about to become idle and another core had a waiting task, our
+    scheduler steals waiting work from the core with the longest queue of
+    tasks.  Otherwise, our scheduler does not rebalance tasks."
+
+Everything here is pure policy against the Enoki trait: runtimes arrive in
+messages (Enoki-C tracks them), queue membership is proven by Schedulable
+tokens, and preemption is requested through the env's resched timer.
+The paper's version is 646 lines of Rust; this is deliberately the same
+kind of object — far simpler than CFS, close to it in behaviour.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.trait import EnokiScheduler
+from repro.simkernel.task import NICE_0_WEIGHT, weight_for_nice
+
+
+@dataclass
+class WfqTransferState:
+    """State passed across a live upgrade of the WFQ scheduler."""
+
+    queues: dict = field(default_factory=dict)
+    vruntime: dict = field(default_factory=dict)
+    last_runtime: dict = field(default_factory=dict)
+    weights: dict = field(default_factory=dict)
+    min_vruntime: dict = field(default_factory=dict)
+    current: dict = field(default_factory=dict)
+    generation: int = 1
+
+
+class EnokiWfq(EnokiScheduler):
+    """Per-core weighted fair queuing with idle-time work stealing."""
+
+    TRANSFER_TYPE = WfqTransferState
+
+    #: how much earlier than the fair share a task may run after waking
+    WAKEUP_BONUS_DIVISOR = 2
+
+    def __init__(self, nr_cpus, policy=7,
+                 sched_latency_ns=6_000_000,
+                 min_granularity_ns=750_000):
+        super().__init__()
+        self.nr_cpus = nr_cpus
+        self.policy = policy
+        self.sched_latency_ns = sched_latency_ns
+        self.min_granularity_ns = min_granularity_ns
+        # cpu -> list[(pid, token)] kept sorted by vruntime at pick time
+        self.queues = {cpu: [] for cpu in range(nr_cpus)}
+        self.vruntime = {}         # pid -> weighted runtime
+        self.last_runtime = {}     # pid -> last raw runtime seen
+        self.weights = {}          # pid -> load weight
+        self.min_vruntime = {cpu: 0 for cpu in range(nr_cpus)}
+        self.current = {}          # cpu -> (pid, runtime at pick)
+        self.generation = 1
+        self.lock = None
+
+    def module_init(self):
+        self.lock = self.env.create_lock("wfq-state")
+
+    def get_policy(self):
+        return self.policy
+
+    # ------------------------------------------------------------------
+    # vruntime bookkeeping
+    # ------------------------------------------------------------------
+
+    def _observe_runtime(self, pid, runtime):
+        """Fold a kernel-reported raw runtime into the pid's vruntime."""
+        last = self.last_runtime.get(pid, runtime)
+        delta = max(0, runtime - last)
+        self.last_runtime[pid] = runtime
+        weight = self.weights.get(pid, NICE_0_WEIGHT)
+        self.vruntime[pid] = (
+            self.vruntime.get(pid, 0) + delta * NICE_0_WEIGHT // weight
+        )
+
+    def _queue_sorted(self, cpu):
+        queue = self.queues[cpu]
+        queue.sort(key=lambda entry: self.vruntime.get(entry[0], 0))
+        return queue
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def select_task_rq(self, pid, prev_cpu, waker_cpu, wake_flags,
+                       allowed_cpus):
+        candidates = (list(allowed_cpus) if allowed_cpus is not None
+                      else list(range(self.nr_cpus)))
+        with self.lock:
+            def busy(cpu):
+                return cpu in self.current
+
+            # Cache affinity: back to the previous CPU if it is free.
+            if (prev_cpu in candidates and not busy(prev_cpu)
+                    and not self.queues.get(prev_cpu)):
+                return prev_cpu
+            # Otherwise any free CPU, else the shortest queue.
+            for cpu in candidates:
+                if not busy(cpu) and not self.queues[cpu]:
+                    return cpu
+            return min(candidates,
+                       key=lambda c: (len(self.queues[c]) + busy(c)))
+
+    # ------------------------------------------------------------------
+    # state tracking
+    # ------------------------------------------------------------------
+
+    def task_new(self, pid, tgid, runtime, runnable, prio, sched):
+        with self.lock:
+            self.weights[pid] = weight_for_nice(prio)
+            self.last_runtime[pid] = runtime
+            cpu = sched.cpu
+            # New tasks start at the end of the current period.
+            self.vruntime[pid] = (
+                self.min_vruntime[cpu]
+                + self.sched_latency_ns
+                * NICE_0_WEIGHT // self.weights[pid]
+                // max(1, len(self.queues[cpu]) + 1)
+            )
+            self.queues[cpu].append((pid, sched))
+
+    def task_wakeup(self, pid, agent_data, deferrable, last_run_cpu,
+                    wake_up_cpu, waker_cpu, sched):
+        with self.lock:
+            cpu = sched.cpu
+            floor = (self.min_vruntime[cpu]
+                     - self.sched_latency_ns // self.WAKEUP_BONUS_DIVISOR)
+            self.vruntime[pid] = max(self.vruntime.get(pid, 0), floor)
+            self.queues[cpu].append((pid, sched))
+
+    def task_blocked(self, pid, runtime, cpu_seqnum, cpu, from_switchto):
+        with self.lock:
+            self._observe_runtime(pid, runtime)
+            self._remove(pid)
+            self.current.pop(cpu, None)
+
+    def task_preempt(self, pid, runtime, cpu_seqnum, cpu, from_switchto,
+                     was_latched, sched):
+        with self.lock:
+            self._observe_runtime(pid, runtime)
+            self.current.pop(cpu, None)
+            self.queues[sched.cpu].append((pid, sched))
+
+    def task_yield(self, pid, runtime, cpu_seqnum, cpu, from_switchto,
+                   sched):
+        with self.lock:
+            self._observe_runtime(pid, runtime)
+            self.current.pop(cpu, None)
+            # Yielding pushes the task behind its peers.
+            queue = self.queues[sched.cpu]
+            if queue:
+                back = max(self.vruntime.get(p, 0) for p, _t in queue)
+                self.vruntime[pid] = max(self.vruntime.get(pid, 0), back)
+            self.queues[sched.cpu].append((pid, sched))
+
+    def task_dead(self, pid):
+        with self.lock:
+            self._remove(pid)
+            self.vruntime.pop(pid, None)
+            self.last_runtime.pop(pid, None)
+            self.weights.pop(pid, None)
+            for cpu, (cur, _rt) in list(self.current.items()):
+                if cur == pid:
+                    del self.current[cpu]
+
+    def task_departed(self, pid, cpu_seqnum, cpu, from_switchto,
+                      was_current):
+        with self.lock:
+            token = self._remove(pid)
+            self.vruntime.pop(pid, None)
+            self.weights.pop(pid, None)
+        return token
+
+    def task_prio_changed(self, pid, prio):
+        with self.lock:
+            self.weights[pid] = weight_for_nice(prio)
+
+    def _remove(self, pid):
+        token = None
+        for queue in self.queues.values():
+            for entry in list(queue):
+                if entry[0] == pid:
+                    queue.remove(entry)
+                    token = entry[1]
+        return token
+
+    def migrate_task_rq(self, pid, new_cpu, sched):
+        with self.lock:
+            old_token = self._remove(pid)
+            # Re-home vruntime to the destination queue's baseline.
+            old_v = self.vruntime.get(pid, 0)
+            self.vruntime[pid] = max(old_v, self.min_vruntime[new_cpu])
+            self.queues[new_cpu].append((pid, sched))
+        return old_token
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def pick_next_task(self, cpu, curr_pid, curr_runtime, runtimes):
+        with self.lock:
+            for pid, runtime in runtimes.items():
+                self._observe_runtime(pid, runtime)
+            queue = self._queue_sorted(cpu)
+            if not queue:
+                return None
+            pid, token = queue.pop(0)
+            vr = self.vruntime.get(pid, 0)
+            self.min_vruntime[cpu] = max(self.min_vruntime[cpu], vr)
+            self.current[cpu] = (pid, self.last_runtime.get(pid, 0))
+            return token
+
+    def pnt_err(self, cpu, pid, err, sched):
+        if sched is not None:
+            with self.lock:
+                self._remove(sched.pid)
+
+    def balance(self, cpu):
+        """Steal from the longest queue when this core is about to idle."""
+        with self.lock:
+            if self.queues[cpu]:
+                return None
+            longest_cpu, waiting = None, 0
+            for other in range(self.nr_cpus):
+                if other == cpu:
+                    continue
+                n = len(self.queues[other])
+                if n > waiting:
+                    longest_cpu, waiting = other, n
+            if longest_cpu is None or waiting < 1:
+                return None
+            # Steal the task that has waited longest (queue head by
+            # vruntime order).
+            queue = self._queue_sorted(longest_cpu)
+            return queue[0][0]
+
+    def balance_err(self, cpu, pid, err, sched):
+        # Nothing to restore: the task never left its queue.
+        pass
+
+    def task_tick(self, cpu, queued, pid, runtime):
+        if pid is None:
+            return
+        with self.lock:
+            self._observe_runtime(pid, runtime)
+            entry = self.current.get(cpu)
+            if entry is None or entry[0] != pid or not queued:
+                return
+            ran = runtime - entry[1]
+            nr = len(self.queues[cpu]) + 1
+            slice_ns = max(self.min_granularity_ns,
+                           self.sched_latency_ns // nr)
+            preempt = ran >= slice_ns
+            if not preempt and self.queues[cpu]:
+                # Wakeup preemption at the tick: a waiting task with a
+                # clearly lower vruntime takes the CPU.
+                head = min(self.vruntime.get(p, 0)
+                           for p, _t in self.queues[cpu])
+                preempt = head + self.min_granularity_ns < \
+                    self.vruntime.get(pid, 0)
+        if preempt:
+            self.env.start_resched_timer(cpu, 0)
+
+    # ------------------------------------------------------------------
+    # live upgrade
+    # ------------------------------------------------------------------
+
+    def reregister_prepare(self):
+        return WfqTransferState(
+            queues=self.queues,
+            vruntime=self.vruntime,
+            last_runtime=self.last_runtime,
+            weights=self.weights,
+            min_vruntime=self.min_vruntime,
+            current=self.current,
+            generation=self.generation,
+        )
+
+    def reregister_init(self, state):
+        if state is None:
+            return
+        self.queues = state.queues
+        self.vruntime = state.vruntime
+        self.last_runtime = state.last_runtime
+        self.weights = state.weights
+        self.min_vruntime = state.min_vruntime
+        self.current = state.current
+        self.generation = state.generation + 1
+        for cpu in range(self.nr_cpus):
+            self.queues.setdefault(cpu, [])
+            self.min_vruntime.setdefault(cpu, 0)

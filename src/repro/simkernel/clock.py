@@ -1,0 +1,56 @@
+"""Virtual time.
+
+All substrate time is integer nanoseconds.  The clock only moves forward,
+and only the event loop moves it.
+"""
+
+from repro.simkernel.errors import SimError
+
+NSEC_PER_USEC = 1_000
+NSEC_PER_MSEC = 1_000_000
+NSEC_PER_SEC = 1_000_000_000
+
+
+def usecs(n):
+    """Convert microseconds to nanoseconds."""
+    return int(n * NSEC_PER_USEC)
+
+
+def msecs(n):
+    """Convert milliseconds to nanoseconds."""
+    return int(n * NSEC_PER_MSEC)
+
+
+def secs(n):
+    """Convert seconds to nanoseconds."""
+    return int(n * NSEC_PER_SEC)
+
+
+class Clock:
+    """A monotonic virtual clock with nanosecond resolution."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns=0):
+        self._now = int(start_ns)
+
+    @property
+    def now(self):
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def advance_to(self, t):
+        """Move the clock forward to ``t`` nanoseconds.
+
+        Raises :class:`SimError` on any attempt to move backwards: the event
+        loop is the only writer and a backwards move means a corrupted event
+        order.
+        """
+        if t < self._now:
+            raise SimError(
+                f"clock would move backwards: {self._now} -> {t}"
+            )
+        self._now = t
+
+    def __repr__(self):
+        return f"Clock(now={self._now}ns)"

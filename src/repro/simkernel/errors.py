@@ -1,0 +1,22 @@
+"""Exceptions raised by the simulated kernel substrate."""
+
+
+class SimError(Exception):
+    """Base class for all substrate errors."""
+
+
+class SchedulingError(SimError):
+    """A scheduler (or the kernel core) violated a scheduling invariant.
+
+    In the real kernel most of these would be a crash (oops/panic); the
+    simulator turns them into a diagnosable exception so the framework layer
+    can demonstrate which ones Enoki's ``Schedulable`` discipline prevents.
+    """
+
+
+class TaskLifecycleError(SimError):
+    """A task was driven through an illegal state transition."""
+
+
+class ProgramError(SimError):
+    """A task program yielded something the kernel cannot interpret."""

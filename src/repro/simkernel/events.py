@@ -1,0 +1,120 @@
+"""The event queue driving the simulation.
+
+A single binary heap orders pending events by ``(time, sequence)``.  Events
+are plain callbacks; cancellation is lazy (a cancelled handle is skipped when
+it surfaces), which keeps the hot path to a heappush/heappop pair.
+"""
+
+import heapq
+
+from repro.simkernel.clock import Clock
+from repro.simkernel.errors import SimError
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"EventHandle(t={self.time}, {name}, {state})"
+
+
+class EventQueue:
+    """Time-ordered event dispatch over a shared :class:`Clock`."""
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else Clock()
+        self._heap = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self):
+        return self._live
+
+    def at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.clock.now:
+            raise SimError(
+                f"event scheduled in the past: {time} < {self.clock.now}"
+            )
+        self._seq += 1
+        handle = EventHandle(int(time), self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        self._live += 1
+        return handle
+
+    def after(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimError(f"negative event delay: {delay}")
+        return self.at(self.clock.now + int(delay), fn, *args)
+
+    def cancel(self, handle):
+        """Cancel a previously scheduled event."""
+        if not handle.cancelled:
+            handle.cancelled = True
+            self._live -= 1
+
+    def _pop_runnable(self):
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._live -= 1
+            return handle
+        return None
+
+    def step(self):
+        """Run the next pending event.  Returns False when the queue is dry."""
+        handle = self._pop_runnable()
+        if handle is None:
+            return False
+        self.clock.advance_to(handle.time)
+        handle.fn(*handle.args)
+        return True
+
+    def run_until(self, deadline):
+        """Run events up to and including virtual time ``deadline``.
+
+        The clock finishes exactly at ``deadline`` even when the queue runs
+        dry earlier.
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+        if self.clock.now < deadline:
+            self.clock.advance_to(deadline)
+
+    def run_until_idle(self, max_events=None):
+        """Run until no events remain.  Returns the number of events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimError(
+                    f"event budget exhausted after {count} events "
+                    "(likely a livelock in the simulation)"
+                )
+        return count

@@ -1,0 +1,54 @@
+"""Futexes: the wait/wake primitive used by schbench-style workloads.
+
+A futex is a 32-bit word plus a wait queue.  ``FutexWait`` blocks unless the
+word already changed from the expected value; ``FutexWake`` wakes up to N
+waiters in FIFO order.  The ``sync`` flag on a wake models WF_SYNC — the
+waker promises to sleep soon, letting wake-affine placement put the wakee
+on the waker's CPU.  The paper's locality experiment (section 5.5) hinges on
+schbench *not* setting this flag.
+"""
+
+from collections import deque
+
+from repro.simkernel.errors import SimError
+
+
+class Futex:
+    """A wait queue over a shared integer word."""
+
+    _next_id = 0
+
+    def __init__(self, name=None, value=0):
+        Futex._next_id += 1
+        self.id = Futex._next_id
+        self.name = name or f"futex-{self.id}"
+        self.value = value
+        self.waiters = deque()   # TaskStruct, FIFO
+
+    def should_block(self, expected):
+        """The futex(2) race check: block only if the word still matches."""
+        return expected is None or self.value == expected
+
+    def add_waiter(self, task):
+        if task in self.waiters:
+            raise SimError(f"{task} already waiting on {self.name}")
+        self.waiters.append(task)
+
+    def remove_waiter(self, task):
+        try:
+            self.waiters.remove(task)
+        except ValueError:
+            pass
+
+    def take_waiters(self, count):
+        """Dequeue up to ``count`` waiters to be woken, FIFO."""
+        woken = []
+        while self.waiters and len(woken) < count:
+            woken.append(self.waiters.popleft())
+        return woken
+
+    def __repr__(self):
+        return (
+            f"Futex({self.name!r}, value={self.value}, "
+            f"waiters={len(self.waiters)})"
+        )

@@ -1,0 +1,153 @@
+"""Task programs: the op vocabulary.
+
+A task program is a generator.  Each ``yield`` hands the kernel an *op*; the
+kernel charges its cost, performs its effect, and resumes the generator with
+the op's result.  Example — one side of the sched-pipe ping-pong::
+
+    def pinger(ping, pong, rounds):
+        def program():
+            for _ in range(rounds):
+                yield PipeWrite(ping, b"x")
+                yield PipeRead(pong)
+        return program
+
+Blocking ops (``Sleep``, ``PipeRead`` on an empty pipe, ``FutexWait``)
+deschedule the task; everything else completes after its charged cost with
+the task still on CPU.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.simkernel.futex import Futex
+from repro.simkernel.pipe import Pipe
+
+
+@dataclass
+class Run:
+    """Compute for ``ns`` nanoseconds of CPU time (preemptible)."""
+
+    ns: int
+
+
+@dataclass
+class Sleep:
+    """Block for ``ns`` nanoseconds of wall-clock (virtual) time."""
+
+    ns: int
+
+
+@dataclass
+class PipeWrite:
+    """Write one message to a pipe, waking a blocked reader if present."""
+
+    pipe: Pipe
+    item: Any = b""
+
+
+@dataclass
+class PipeRead:
+    """Read one message from a pipe; blocks until one is available."""
+
+    pipe: Pipe
+
+
+@dataclass
+class FutexWait:
+    """Block on a futex until woken.
+
+    If ``expected`` is given and the futex word already differs, the wait
+    returns immediately (the classic futex race check).
+    """
+
+    futex: Futex
+    expected: Optional[int] = None
+
+
+@dataclass
+class FutexWake:
+    """Wake up to ``count`` waiters.  ``sync`` models WF_SYNC."""
+
+    futex: Futex
+    count: int = 1
+    sync: bool = False
+    new_value: Optional[int] = None
+
+
+@dataclass
+class SemUp:
+    """Release one unit of a semaphore, waking a waiter if present."""
+
+    sem: Any
+
+
+@dataclass
+class SemDown:
+    """Acquire one unit of a semaphore; blocks until available."""
+
+    sem: Any
+
+
+@dataclass
+class YieldCpu:
+    """sched_yield(): give up the CPU but stay runnable."""
+
+
+@dataclass
+class SendHint:
+    """Send a scheduler hint from userspace (Enoki hint queue)."""
+
+    payload: Any
+    policy: Optional[int] = None
+
+
+@dataclass
+class RecvHints:
+    """Drain pending kernel-to-user messages for this task's process."""
+
+    policy: Optional[int] = None
+
+
+@dataclass
+class Spawn:
+    """Create a new task; result is the child's pid."""
+
+    program: Any
+    name: Optional[str] = None
+    policy: Optional[int] = None
+    nice: int = 0
+    allowed_cpus: Optional[frozenset] = None
+
+
+@dataclass
+class SetNice:
+    """Change this task's nice value (sched_setparam)."""
+
+    nice: int
+
+
+@dataclass
+class SetAffinity:
+    """Change this task's allowed CPUs (sched_setaffinity)."""
+
+    cpus: frozenset
+
+
+@dataclass
+class Exit:
+    """Terminate the task immediately with an optional value."""
+
+    value: Any = None
+
+
+@dataclass
+class Call:
+    """Run an arbitrary host-side callback at this point in the program.
+
+    The callback executes instantly in virtual time and its return value is
+    delivered to the program.  Used by workloads to timestamp events with
+    the virtual clock.
+    """
+
+    fn: Any
+    args: tuple = field(default_factory=tuple)

@@ -1,0 +1,41 @@
+"""Counting semaphores for workload synchronisation.
+
+Futexes lose wakes with no waiter present; schbench-style message/worker
+rounds need a counting primitive so replies sent before the messenger
+waits are not lost.
+"""
+
+from collections import deque
+
+
+class Semaphore:
+    """A counting semaphore with FIFO waiters."""
+
+    _next_id = 0
+
+    def __init__(self, value=0, name=None):
+        Semaphore._next_id += 1
+        self.id = Semaphore._next_id
+        self.name = name or f"sem-{self.id}"
+        self.value = value
+        self.waiters = deque()   # TaskStruct, FIFO
+
+    def try_down(self):
+        if self.value > 0:
+            self.value -= 1
+            return True
+        return False
+
+    def up(self):
+        """Release one unit; returns the task to wake, if any."""
+        if self.waiters:
+            return self.waiters.popleft()
+        self.value += 1
+        return None
+
+    def add_waiter(self, task):
+        self.waiters.append(task)
+
+    def __repr__(self):
+        return (f"Semaphore({self.name!r}, value={self.value}, "
+                f"waiters={len(self.waiters)})")

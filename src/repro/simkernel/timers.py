@@ -1,0 +1,78 @@
+"""High-resolution timers over the event queue.
+
+Scheduler classes use these for preemption timers (the Enoki Shinjuku
+scheduler re-arms a 10 us resched timer on every pick, section 4.2.2) and
+the kernel core uses them for the periodic tick.
+"""
+
+from repro.simkernel.errors import SimError
+
+
+class Timer:
+    """Handle for an armed timer."""
+
+    __slots__ = ("service", "handle", "tag", "fired", "cancelled")
+
+    def __init__(self, service, tag):
+        self.service = service
+        self.handle = None
+        self.tag = tag
+        self.fired = False
+        self.cancelled = False
+
+    @property
+    def active(self):
+        return not (self.fired or self.cancelled)
+
+    def cancel(self):
+        if self.active and self.handle is not None:
+            self.service.events.cancel(self.handle)
+        self.cancelled = True
+
+
+class TimerService:
+    """Arms one-shot timers with a minimum programming delay."""
+
+    def __init__(self, events, config):
+        self.events = events
+        self.config = config
+        self.armed = 0
+
+    def arm(self, delay_ns, callback, tag=None):
+        """Arm a one-shot timer ``delay_ns`` from now.
+
+        Delays below the hrtimer slack floor are rounded up, mirroring real
+        timer hardware granularity.
+        """
+        if delay_ns < 0:
+            raise SimError(f"negative timer delay: {delay_ns}")
+        delay_ns = max(delay_ns, self.config.timer_min_delay_ns)
+        timer = Timer(self, tag)
+
+        def fire():
+            timer.fired = True
+            self.armed -= 1
+            callback(timer)
+
+        timer.handle = self.events.after(
+            delay_ns + self.config.timer_program_ns, fire
+        )
+        self.armed += 1
+        return timer
+
+    def arm_periodic(self, period_ns, callback, tag=None):
+        """Arm a self-rearming timer.  Returns a handle whose ``cancel``
+        stops the chain."""
+        if period_ns <= 0:
+            raise SimError(f"non-positive timer period: {period_ns}")
+        chain = Timer(self, tag)
+
+        def fire():
+            if chain.cancelled:
+                return
+            callback(chain)
+            if not chain.cancelled:
+                chain.handle = self.events.after(period_ns, fire)
+
+        chain.handle = self.events.after(period_ns, fire)
+        return chain

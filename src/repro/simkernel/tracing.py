@@ -1,0 +1,125 @@
+"""Structured scheduling-event tracing (the substrate's ftrace).
+
+The kernel core exposes a single ``trace`` hook; this module gives it
+structure: typed events, bounded retention, filtering, and the analysis
+helpers experiments use to answer questions like "how long did pid 7 wait
+per wakeup?" or "what ran on CPU 2 between t1 and t2?".
+
+Usage::
+
+    tracer = SchedTracer.attach(kernel, capacity=100_000)
+    ... run workload ...
+    for event in tracer.events_for_cpu(2):
+        print(event)
+    print(tracer.timeline(cpu=2, start_ns=0, end_ns=1_000_000))
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduling event."""
+
+    t_ns: int
+    kind: str                # "dispatch" | "idle" | custom
+    cpu: int
+    pid: Optional[int] = None
+    cost_ns: int = 0
+
+    def __str__(self):
+        pid = f" pid={self.pid}" if self.pid is not None else ""
+        return f"[{self.t_ns / 1e6:10.3f} ms] cpu{self.cpu} {self.kind}{pid}"
+
+
+class SchedTracer:
+    """Bounded in-memory trace of kernel dispatch/idle events."""
+
+    def __init__(self, capacity=100_000):
+        self.capacity = capacity
+        self.events = deque(maxlen=capacity)
+        self.dropped = 0
+        self._kernel = None
+
+    @classmethod
+    def attach(cls, kernel, capacity=100_000):
+        """Install on a kernel (replaces any existing trace hook)."""
+        tracer = cls(capacity)
+        tracer._kernel = kernel
+        kernel.trace = tracer._hook
+        return tracer
+
+    def detach(self):
+        if self._kernel is not None and self._kernel.trace == self._hook:
+            self._kernel.trace = None
+        self._kernel = None
+
+    def _hook(self, kind, **fields):
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(TraceEvent(
+            t_ns=fields.get("t", 0),
+            kind=kind,
+            cpu=fields.get("cpu", -1),
+            pid=fields.get("pid"),
+            cost_ns=fields.get("cost", 0),
+        ))
+
+    # -- queries ---------------------------------------------------------
+
+    def events_for_cpu(self, cpu):
+        return [e for e in self.events if e.cpu == cpu]
+
+    def events_for_pid(self, pid):
+        return [e for e in self.events if e.pid == pid]
+
+    def dispatches(self):
+        return [e for e in self.events if e.kind == "dispatch"]
+
+    def timeline(self, cpu, start_ns=0, end_ns=None):
+        """Reconstruct (start, end, pid-or-None) intervals for one CPU.
+
+        ``None`` pid means idle.  The last interval is open-ended at the
+        final observed event.
+        """
+        spans = []
+        current_pid = None
+        current_start = start_ns
+        for event in self.events:
+            if event.cpu != cpu or event.t_ns < start_ns:
+                continue
+            if end_ns is not None and event.t_ns > end_ns:
+                break
+            if event.kind == "dispatch":
+                spans.append((current_start, event.t_ns, current_pid))
+                current_pid = event.pid
+                current_start = event.t_ns
+            elif event.kind == "idle":
+                spans.append((current_start, event.t_ns, current_pid))
+                current_pid = None
+                current_start = event.t_ns
+        tail_end = end_ns if end_ns is not None else (
+            self.events[-1].t_ns if self.events else start_ns)
+        spans.append((current_start, tail_end, current_pid))
+        return [s for s in spans if s[1] > s[0]]
+
+    def busy_ns(self, cpu, start_ns=0, end_ns=None):
+        """Time the CPU spent running tasks within a window."""
+        return sum(end - start
+                   for start, end, pid in self.timeline(cpu, start_ns,
+                                                        end_ns)
+                   if pid is not None)
+
+    def switch_count(self, cpu=None):
+        return sum(1 for e in self.events
+                   if e.kind == "dispatch"
+                   and (cpu is None or e.cpu == cpu))
+
+    def summary(self):
+        """Counts by kind, for quick inspection."""
+        out = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

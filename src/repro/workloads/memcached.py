@@ -1,0 +1,188 @@
+"""The memcached/mutilate-style workload (paper section 5.6, Figure 3).
+
+    "We use the Mutilate benchmark utility to generate load for the
+    memcached server, using the key size and distribution, value size and
+    distribution, and inter-arrival distribution of the Facebook ETC
+    workload, 1 million records, and 3% updates."
+
+Model: an open-loop Poisson client stream; request service times follow an
+ETC-like long-tailed distribution (3 % updates are heavier).  Three server
+backends, matching the figure's three lines:
+
+* ``run_memcached_threads`` — baseline memcached: a pool of kernel threads
+  under CFS, blocking on a request semaphore (all eight cores).
+* ``run_memcached_arachne`` — memcached on an Arachne runtime (one user
+  thread per request), with either the native userspace arbiter or the
+  Enoki core arbiter behind it; scales between 2 and 7 cores.
+"""
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import percentile
+from repro.arachne_rt.user_thread import URun
+from repro.simkernel.clock import msecs, usecs
+from repro.simkernel.program import Call, Run, SemDown, SemUp
+from repro.simkernel.semaphore import Semaphore
+from repro.workloads.rocksdb import host_sem_up
+
+#: mean GET service time (hash lookup + respond)
+GET_SERVICE_NS = usecs(18)
+#: update fraction and its service time (ETC: ~3% SETs, heavier)
+UPDATE_FRACTION = 0.03
+UPDATE_SERVICE_NS = usecs(45)
+#: kernel TCP receive path (softirq + epoll + recv) per request
+NET_RECV_NS = usecs(2)
+#: send path per reply
+NET_SEND_NS = usecs(1)
+
+
+@dataclass
+class McResult:
+    offered_rps: float
+    completed: int = 0
+    offered: int = 0
+    latencies_us: list = field(default_factory=list)
+    scheduler: str = ""
+
+    @property
+    def p99_us(self):
+        if not self.latencies_us:
+            return float("nan")
+        return percentile(self.latencies_us, 99)
+
+    @property
+    def p50_us(self):
+        if not self.latencies_us:
+            return float("nan")
+        return percentile(self.latencies_us, 50)
+
+
+def _service_ns(rng):
+    """ETC-like service time: lognormal body plus heavier updates."""
+    if rng.random() < UPDATE_FRACTION:
+        base = UPDATE_SERVICE_NS
+    else:
+        base = GET_SERVICE_NS
+    return max(500, int(rng.lognormvariate(0, 0.4) * base))
+
+
+def _drive(kernel, offered_rps, duration_ns, warmup_ns, deliver, drain,
+           result, rng):
+    """Shared open-loop arrival engine."""
+    end_at = kernel.now + warmup_ns + duration_ns
+    measure_from = kernel.now + warmup_ns
+    interarrival_ns = 1e9 / offered_rps
+
+    def record(arrival_ns):
+        def fn():
+            if arrival_ns >= measure_from:
+                result.completed += 1
+                result.latencies_us.append((kernel.now - arrival_ns) / 1e3)
+        return fn
+
+    def arrival():
+        if kernel.now >= end_at:
+            drain()
+            return
+        arrival_ns = kernel.now
+        if arrival_ns >= measure_from:
+            result.offered += 1
+        deliver(arrival_ns, _service_ns(rng), record(arrival_ns))
+        kernel.events.after(
+            max(1, int(rng.expovariate(1.0 / interarrival_ns))), arrival
+        )
+
+    kernel.events.after(1, arrival)
+    kernel.run_until_idle()
+    return result
+
+
+def run_memcached_threads(kernel, policy, offered_rps,
+                          duration_ns=msecs(300), warmup_ns=msecs(50),
+                          nthreads=16, cpus=None, seed=None,
+                          scheduler_name="cfs"):
+    """Baseline memcached: epoll dispatcher + per-connection worker pool.
+
+    Each request takes the kernel path the Arachne runtime short-circuits:
+    the network softirq/epoll dispatcher thread wakes up, classifies the
+    connection, and wakes that connection's worker thread, which runs the
+    request and replies.  Connections are statically spread over the
+    worker threads, as memcached does.
+    """
+    rng = random.Random(seed if seed is not None else kernel.config.seed)
+    result = McResult(offered_rps=offered_rps, scheduler=scheduler_name)
+    affinity = frozenset(cpus) if cpus is not None else None
+    inbox = deque()
+    net_sem = Semaphore(0, name="mc-net")
+    worker_queues = [deque() for _ in range(nthreads)]
+    worker_sems = [Semaphore(0, name=f"mc-w{i}") for i in range(nthreads)]
+    next_conn = {"i": 0}
+
+    def net_dispatcher():
+        while True:
+            yield SemDown(net_sem)
+            entry = inbox.popleft()
+            if entry is None:
+                for i in range(nthreads):
+                    worker_queues[i].append(None)
+                    yield SemUp(worker_sems[i])
+                return
+            yield Run(NET_RECV_NS)
+            index, service_ns, done = entry
+            worker_queues[index].append((service_ns, done))
+            yield SemUp(worker_sems[index])
+
+    def worker(index):
+        def prog():
+            while True:
+                yield SemDown(worker_sems[index])
+                entry = worker_queues[index].popleft()
+                if entry is None:
+                    return
+                service_ns, done = entry
+                yield Run(service_ns + NET_SEND_NS)
+                yield Call(done)
+        return prog
+
+    kernel.spawn(net_dispatcher, name="mc-net", policy=policy,
+                 allowed_cpus=affinity)
+    for i in range(nthreads):
+        kernel.spawn(worker(i), name=f"mc-{i}", policy=policy,
+                     allowed_cpus=affinity)
+
+    def deliver(arrival_ns, service_ns, done):
+        index = next_conn["i"] % nthreads
+        next_conn["i"] += 1
+        inbox.append((index, service_ns, done))
+        host_sem_up(kernel, net_sem)
+
+    def drain():
+        inbox.append(None)
+        host_sem_up(kernel, net_sem)
+
+    return _drive(kernel, offered_rps, duration_ns, warmup_ns, deliver,
+                  drain, result, rng)
+
+
+def run_memcached_arachne(kernel, runtime, offered_rps,
+                          duration_ns=msecs(300), warmup_ns=msecs(50),
+                          seed=None, scheduler_name="arachne"):
+    """memcached on Arachne: one user thread per request."""
+    rng = random.Random(seed if seed is not None else kernel.config.seed)
+    result = McResult(offered_rps=offered_rps, scheduler=scheduler_name)
+
+    def deliver(arrival_ns, service_ns, done):
+        def request_thread():
+            # The dispatcher's poll loop does the recv itself; the user
+            # thread runs the request and the send path inline.
+            yield URun(NET_RECV_NS + service_ns + NET_SEND_NS)
+
+        runtime.submit(request_thread, on_done=lambda _t: done())
+
+    def drain():
+        runtime.stop()
+
+    return _drive(kernel, offered_rps, duration_ns, warmup_ns, deliver,
+                  drain, result, rng)

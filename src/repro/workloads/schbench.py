@@ -1,0 +1,143 @@
+"""schbench: the scheduler wakeup-latency benchmark (Tables 4 and 6).
+
+Paper, section 5.2:
+
+    "This benchmark starts a number of message threads and worker threads.
+    Each message thread and its worker threads send messages back and
+    forth.  Schbench reports the median and 99% tail latency of task
+    schedules throughout the benchmark."
+
+Structure ported from the real benchmark:
+
+* each worker sleeps on its **own futex**; the message thread stamps the
+  round start, then wakes its workers one by one (the wake syscalls
+  serialise, so later workers observe more latency — this is why the
+  paper's 40-worker medians are roughly double its 2-worker medians);
+* a woken worker records ``now - round_stamp`` as its wakeup latency,
+  performs a jittered burst of CPU work, posts a reply, and sleeps again;
+* the message thread collects all replies, then sleeps a jittered interval
+  — long enough for worker cores to enter deep idle, which is what puts
+  real schbench medians in the tens of microseconds on an idle machine;
+* message threads start staggered and drift independently, so rounds
+  occasionally collide — the collisions are what schedulers with a
+  centralised bottleneck (the ghOSt agent) turn into a 99th-percentile
+  blowup.
+
+The futex wakes deliberately do *not* set WF_SYNC; section 5.5 builds its
+locality experiment on exactly that property, and ``hint_locality=True``
+reproduces the paper's modified schbench for Table 6.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import percentile
+from repro.simkernel.clock import msecs, usecs
+from repro.simkernel.futex import Futex
+from repro.simkernel.program import (
+    Call,
+    FutexWait,
+    FutexWake,
+    Run,
+    SemDown,
+    SemUp,
+    SendHint,
+    Sleep,
+    Spawn,
+)
+from repro.simkernel.semaphore import Semaphore
+
+
+@dataclass
+class SchbenchResult:
+    """Wakeup-latency distribution of the worker threads."""
+
+    samples_us: list = field(default_factory=list)
+    message_threads: int = 0
+    workers_per_thread: int = 0
+    scheduler: str = ""
+
+    @property
+    def p50_us(self):
+        return percentile(self.samples_us, 50)
+
+    @property
+    def p99_us(self):
+        return percentile(self.samples_us, 99)
+
+
+def run_schbench(kernel, policy, message_threads=2, workers_per_thread=2,
+                 warmup_ns=msecs(50), duration_ns=msecs(500),
+                 think_ns=usecs(30), interval_ns=msecs(5),
+                 hint_locality=False, affinity=None, seed=None,
+                 scheduler_name=""):
+    """Run schbench on a configured kernel; returns the latency samples."""
+    rng = random.Random(seed if seed is not None else kernel.config.seed)
+    end_at = kernel.now + warmup_ns + duration_ns
+    measure_from = kernel.now + warmup_ns
+    samples_us = []
+    stop = {"flag": False}
+
+    def worker(group, futex, reply_sem, stamp_box):
+        def prog():
+            while True:
+                yield FutexWait(futex)
+                now = yield Call(lambda: kernel.now)
+                if stop["flag"]:
+                    yield SemUp(reply_sem)
+                    return
+                if now >= measure_from and stamp_box["t"] is not None:
+                    samples_us.append((now - stamp_box["t"]) / 1_000.0)
+                burst = int(think_ns * rng.uniform(0.6, 1.4))
+                yield Run(burst)
+                yield SemUp(reply_sem)
+        return prog
+
+    def messenger(group):
+        reply_sem = Semaphore(0, name=f"schbench-reply-{group}")
+        stamp_box = {"t": None}
+        futexes = [Futex(name=f"schbench-w{group}.{i}")
+                   for i in range(workers_per_thread)]
+
+        def prog():
+            if hint_locality:
+                # Co-locate the message thread itself with its group.
+                yield SendHint({"tid": None, "locality": group})
+            for index in range(workers_per_thread):
+                pid = yield Spawn(
+                    worker(group, futexes[index], reply_sem, stamp_box),
+                    name=f"schbench-w{group}.{index}",
+                    allowed_cpus=affinity,
+                )
+                if hint_locality:
+                    yield SendHint({"tid": pid, "locality": group})
+            # Give every worker time to reach its futex (generous slack so
+            # even agent-delegated schedulers have placed them all).
+            yield Sleep(msecs(1))
+            # Stagger the message threads so rounds drift independently.
+            yield Sleep(int(interval_ns * group / max(1, message_threads)))
+            while True:
+                now = yield Call(lambda: kernel.now)
+                if now >= end_at:
+                    stop["flag"] = True
+                stamp_box["t"] = now
+                for futex in futexes:
+                    yield FutexWake(futex, 1)
+                for _ in range(workers_per_thread):
+                    yield SemDown(reply_sem)
+                if stop["flag"]:
+                    return
+                yield Sleep(int(interval_ns * rng.uniform(0.5, 1.5)))
+        return prog
+
+    for group in range(message_threads):
+        kernel.spawn(messenger(group), name=f"schbench-m{group}",
+                     policy=policy, allowed_cpus=affinity)
+
+    kernel.run_until_idle()
+    return SchbenchResult(
+        samples_us=samples_us,
+        message_threads=message_threads,
+        workers_per_thread=workers_per_thread,
+        scheduler=scheduler_name,
+    )

@@ -1,0 +1,115 @@
+"""Full class-stack integration: DL > RT > Enoki > CFS on one machine.
+
+Linux stacks its scheduling classes in strict priority order; the
+substrate must honour the same discipline when all four kinds of class
+are loaded at once — deadline reservations first, then RT, then the
+loadable Enoki policy, with CFS soaking up what is left.
+"""
+
+import pytest
+
+from repro.core import EnokiSchedClass
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.deadline import DeadlineSchedClass
+from repro.schedulers.rt import RtSchedClass
+from repro.schedulers.wfq import EnokiWfq
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.simkernel.clock import msecs, usecs
+from repro.simkernel.program import Run, Sleep
+from repro.simkernel.task import TaskState
+
+PIN0 = frozenset({0})
+
+
+def full_stack(nr_cpus=2):
+    kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+    dl = DeadlineSchedClass(policy=3)
+    rt = RtSchedClass(policy=2)
+    cfs = CfsSchedClass(policy=0)
+    kernel.register_sched_class(dl, priority=90)
+    kernel.register_sched_class(rt, priority=80)
+    kernel.register_sched_class(cfs, priority=10)
+    EnokiSchedClass.register(kernel, EnokiWfq(nr_cpus, 7), 7, priority=50)
+    return kernel, dl, rt, cfs
+
+
+def spinner(ns):
+    def prog():
+        yield Run(ns)
+    return prog
+
+
+class TestFourClassStack:
+    def test_priority_order_on_one_core(self):
+        kernel, dl, rt, _cfs = full_stack(nr_cpus=1)
+        order = []
+
+        def tagged(tag, ns):
+            def prog():
+                yield Run(ns)
+                from repro.simkernel.program import Call
+                yield Call(lambda: order.append(tag))
+            return prog
+
+        kernel.spawn(tagged("cfs", usecs(80)), policy=0,
+                     allowed_cpus=PIN0)
+        kernel.spawn(tagged("enoki", usecs(80)), policy=7,
+                     allowed_cpus=PIN0)
+        rt_task = rt.spawn_rt(tagged("rt", usecs(80)), 50,
+                              allowed_cpus=PIN0)
+        dl_task = dl.spawn_dl(tagged("dl", usecs(80)),
+                              runtime_ns=usecs(500), period_ns=msecs(5),
+                              allowed_cpus=PIN0)
+        kernel.run_until_idle()
+        assert order == ["dl", "rt", "enoki", "cfs"]
+
+    def test_everyone_finishes_under_mixed_load(self):
+        kernel, dl, rt, _cfs = full_stack(nr_cpus=2)
+        tasks = []
+        tasks.append(dl.spawn_dl(spinner(msecs(1)),
+                                 runtime_ns=usecs(500),
+                                 period_ns=msecs(2)))
+        tasks.append(rt.spawn_rt(spinner(msecs(1)), 30))
+        for _ in range(3):
+            tasks.append(kernel.spawn(spinner(msecs(1)), policy=7))
+        for _ in range(3):
+            tasks.append(kernel.spawn(spinner(msecs(1)), policy=0))
+        kernel.run_until_idle()
+        assert all(t.state is TaskState.DEAD for t in tasks)
+
+    def test_cbs_protects_lower_classes_from_dl_hog(self):
+        """A deadline task with a 30% reservation cannot starve the Enoki
+        scheduler below it, unlike an RT hog which can."""
+        kernel, dl, rt, _cfs = full_stack(nr_cpus=1)
+        dl.spawn_dl(spinner(msecs(30)), runtime_ns=msecs(3),
+                    period_ns=msecs(10), allowed_cpus=PIN0)
+        enoki_task = kernel.spawn(spinner(msecs(5)), policy=7,
+                                  allowed_cpus=PIN0)
+        kernel.run_until(msecs(12))
+        # Despite the "infinite" DL hog, the Enoki task made progress in
+        # the throttled gaps.
+        assert enoki_task.sum_exec_runtime_ns > msecs(3)
+
+    def test_enoki_upgrade_under_a_live_stack(self):
+        """Live upgrade of the Enoki scheduler while RT/DL/CFS traffic
+        flows around it."""
+        from repro.core import UpgradeManager
+
+        kernel, dl, rt, _cfs = full_stack(nr_cpus=2)
+        shim = next(c for _p, c in kernel._classes if c.policy == 7)
+
+        def mixed(policy_work):
+            def prog():
+                for _ in range(10):
+                    yield Run(usecs(policy_work))
+                    yield Sleep(usecs(200))
+            return prog
+
+        tasks = [kernel.spawn(mixed(300), policy=7) for _ in range(4)]
+        tasks.append(rt.spawn_rt(mixed(100), 40))
+        tasks.append(kernel.spawn(mixed(200), policy=0))
+        manager = UpgradeManager(kernel, shim)
+        manager.schedule_upgrade(lambda: EnokiWfq(2, 7), at_ns=msecs(2))
+        kernel.run_until_idle()
+        assert len(manager.reports) == 1
+        assert all(t.state is TaskState.DEAD for t in tasks)

@@ -1,0 +1,39 @@
+"""Tests for the command-line runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pipe" in out
+        assert "upgrade" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_pipe_quick(self, capsys):
+        assert main(["pipe", "--rounds", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "CFS" in out
+        assert "Enoki WFQ" in out
+
+    def test_fairness_quick(self, capsys):
+        assert main(["fairness"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_upgrade_quick(self, capsys):
+        assert main(["upgrade"]) == 0
+        out = capsys.readouterr().out
+        assert "pause" in out
+
+    def test_rocksdb_quick(self, capsys):
+        assert main(["rocksdb", "--load", "20000",
+                     "--duration-ms", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Enoki-Shinjuku" in out

@@ -1,0 +1,124 @@
+"""Unit tests for the virtual clock and event queue."""
+
+import pytest
+
+from repro.simkernel.clock import Clock, msecs, secs, usecs
+from repro.simkernel.errors import SimError
+from repro.simkernel.events import EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_no_backwards_motion(self):
+        clock = Clock(50)
+        with pytest.raises(SimError):
+            clock.advance_to(49)
+
+    def test_unit_helpers(self):
+        assert usecs(3) == 3_000
+        assert msecs(2) == 2_000_000
+        assert secs(1) == 1_000_000_000
+        assert usecs(1.5) == 1_500
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.at(30, seen.append, "c")
+        q.at(10, seen.append, "a")
+        q.at(20, seen.append, "b")
+        q.run_until_idle()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_run_in_insertion_order(self):
+        q = EventQueue()
+        seen = []
+        q.at(10, seen.append, 1)
+        q.at(10, seen.append, 2)
+        q.at(10, seen.append, 3)
+        q.run_until_idle()
+        assert seen == [1, 2, 3]
+
+    def test_after_is_relative(self):
+        q = EventQueue()
+        q.clock.advance_to(100)
+        fired = []
+        q.after(25, lambda: fired.append(q.clock.now))
+        q.run_until_idle()
+        assert fired == [125]
+
+    def test_cancel(self):
+        q = EventQueue()
+        seen = []
+        handle = q.at(10, seen.append, "x")
+        q.cancel(handle)
+        q.run_until_idle()
+        assert seen == []
+        assert len(q) == 0
+
+    def test_no_scheduling_in_the_past(self):
+        q = EventQueue()
+        q.clock.advance_to(100)
+        with pytest.raises(SimError):
+            q.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimError):
+            q.after(-1, lambda: None)
+
+    def test_run_until_stops_at_deadline(self):
+        q = EventQueue()
+        seen = []
+        q.at(10, seen.append, "early")
+        q.at(100, seen.append, "late")
+        q.run_until(50)
+        assert seen == ["early"]
+        assert q.clock.now == 50
+        q.run_until(200)
+        assert seen == ["early", "late"]
+
+    def test_run_until_advances_clock_when_dry(self):
+        q = EventQueue()
+        q.run_until(777)
+        assert q.clock.now == 777
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                q.after(10, chain, n + 1)
+
+        q.at(0, chain, 0)
+        q.run_until_idle()
+        assert seen == [0, 1, 2, 3]
+        assert q.clock.now == 30
+
+    def test_event_budget_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.after(1, forever)
+
+        q.at(0, forever)
+        with pytest.raises(SimError):
+            q.run_until_idle(max_events=1000)
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        h1 = q.at(10, lambda: None)
+        q.at(20, lambda: None)
+        assert len(q) == 2
+        q.cancel(h1)
+        assert len(q) == 1

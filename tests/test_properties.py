@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import geomean, percentile, stddev
+from repro.core.hints import RingBuffer
+from repro.core.schedulable import TokenRegistry
+from repro.simkernel.clock import Clock
+from repro.simkernel.events import EventQueue
+from repro.simkernel.semaphore import Semaphore
+from repro.simkernel.task import NICE_TO_WEIGHT, weight_for_nice
+
+
+class TestRingBufferProperties:
+    @given(st.integers(1, 64), st.lists(st.integers(), max_size=200))
+    def test_never_exceeds_capacity(self, capacity, items):
+        ring = RingBuffer(capacity)
+        for item in items:
+            ring.push(item)
+        assert len(ring) <= capacity
+        assert ring.pushed + ring.dropped == len(items)
+
+    @given(st.integers(1, 64), st.lists(st.integers(), max_size=200))
+    def test_fifo_order_of_accepted(self, capacity, items):
+        ring = RingBuffer(capacity)
+        accepted = []
+        for item in items:
+            if ring.push(item):
+                accepted.append(item)
+        assert ring.drain() == accepted
+
+    @given(st.lists(st.integers(), min_size=1, max_size=100),
+           st.integers(1, 50))
+    def test_drain_limit(self, items, limit):
+        ring = RingBuffer(1024)
+        for item in items:
+            ring.push(item)
+        out = ring.drain(limit)
+        assert len(out) == min(limit, len(items))
+        assert out == items[:len(out)]
+
+
+class TestTokenRegistryProperties:
+    @given(st.lists(st.tuples(st.integers(1, 20), st.integers(0, 7)),
+                    min_size=1, max_size=100))
+    def test_only_latest_token_is_valid(self, issues):
+        registry = TokenRegistry()
+        latest = {}
+        tokens = []
+        for pid, cpu in issues:
+            token = registry.issue(pid, cpu)
+            tokens.append(token)
+            latest[pid] = token
+        for token in tokens:
+            expected = latest[token.pid] is token
+            assert registry.is_valid(token) == expected
+
+    @given(st.lists(st.tuples(st.integers(1, 10), st.integers(0, 3)),
+                    min_size=1, max_size=60))
+    def test_consume_then_invalid(self, issues):
+        registry = TokenRegistry()
+        for pid, cpu in issues:
+            token = registry.issue(pid, cpu)
+            registry.consume(token)
+            assert not registry.is_valid(token)
+            assert registry.peek(pid) is None
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+    def test_delivery_is_time_sorted(self, times):
+        queue = EventQueue(Clock())
+        fired = []
+        for t in times:
+            queue.at(t, lambda now=t: fired.append(now))
+        queue.run_until_idle()
+        assert fired == sorted(times)
+        assert queue.clock.now == max(times)
+
+    @given(st.lists(st.integers(0, 1_000), min_size=2, max_size=100),
+           st.integers(0, 99))
+    def test_cancellation_removes_exactly_one(self, times, cancel_index):
+        queue = EventQueue(Clock())
+        fired = []
+        handles = [queue.at(t, lambda i=i: fired.append(i))
+                   for i, t in enumerate(times)]
+        victim = cancel_index % len(handles)
+        queue.cancel(handles[victim])
+        queue.run_until_idle()
+        assert victim not in fired
+        assert len(fired) == len(times) - 1
+
+
+class TestSemaphoreProperties:
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_value_never_negative(self, ops):
+        sem = Semaphore(0)
+        downs_granted = 0
+        ups = 0
+        for is_up in ops:
+            if is_up:
+                sem.up()
+                ups += 1
+            else:
+                if sem.try_down():
+                    downs_granted += 1
+        assert sem.value >= 0
+        assert sem.value == ups - downs_granted
+
+
+class TestWeightTableProperties:
+    @given(st.integers(-20, 19))
+    def test_monotonic_in_priority(self, nice):
+        if nice < 19:
+            assert weight_for_nice(nice) > weight_for_nice(nice + 1)
+
+    def test_table_is_strictly_decreasing(self):
+        assert list(NICE_TO_WEIGHT) == sorted(NICE_TO_WEIGHT, reverse=True)
+
+
+class TestStatsProperties:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300))
+    def test_percentile_bounds(self, samples):
+        assert percentile(samples, 0) == min(samples)
+        assert percentile(samples, 100) == max(samples)
+        p50 = percentile(samples, 50)
+        assert min(samples) <= p50 <= max(samples)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300),
+           st.integers(0, 100), st.integers(0, 100))
+    def test_percentile_monotone(self, samples, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert percentile(samples, lo) <= percentile(samples, hi)
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=50))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_stddev_nonnegative(self, values):
+        assert stddev(values) >= 0
+
+
+class TestSchedulingInvariantProperties:
+    """End-to-end invariants over randomly generated workloads."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(1_000, 200_000),      # run ns
+                  st.integers(0, 100_000),          # sleep ns
+                  st.integers(2, 5)),               # phases
+        min_size=1, max_size=10,
+    ), st.integers(1, 4))
+    def test_all_tasks_complete_and_runtime_accounted(self, specs, nr_cpus):
+        from repro.core import EnokiSchedClass
+        from repro.schedulers.cfs import CfsSchedClass
+        from repro.schedulers.wfq import EnokiWfq
+        from repro.simkernel import Kernel, SimConfig, Topology
+        from repro.simkernel.program import Run, Sleep
+        from repro.simkernel.task import TaskState
+
+        kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+        kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+        EnokiSchedClass.register(kernel, EnokiWfq(nr_cpus, 7), 7,
+                                 priority=10)
+
+        def make_prog(run_ns, sleep_ns, phases):
+            def prog():
+                for _ in range(phases):
+                    yield Run(run_ns)
+                    if sleep_ns:
+                        yield Sleep(sleep_ns)
+            return prog
+
+        tasks = [
+            kernel.spawn(make_prog(r, s, p), policy=7)
+            for r, s, p in specs
+        ]
+        kernel.run_until_idle(max_events=2_000_000)
+        for (run_ns, _s, phases), task in zip(specs, tasks):
+            assert task.state is TaskState.DEAD
+            # Work conservation of accounting: every task ran at least its
+            # requested CPU time.
+            assert task.sum_exec_runtime_ns >= run_ns * phases
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 12), st.integers(1, 4))
+    def test_no_task_lost_under_wfq(self, n_tasks, nr_cpus):
+        """The scheduler-state invariant the Schedulable token protects:
+        every runnable task is eventually picked."""
+        from repro.core import EnokiSchedClass
+        from repro.schedulers.wfq import EnokiWfq
+        from repro.simkernel import Kernel, SimConfig, Topology
+        from repro.simkernel.program import Run, YieldCpu
+        from repro.simkernel.task import TaskState
+
+        kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+        EnokiSchedClass.register(kernel, EnokiWfq(nr_cpus, 7), 7)
+
+        def prog():
+            yield Run(10_000)
+            yield YieldCpu()
+            yield Run(10_000)
+
+        tasks = [kernel.spawn(prog, policy=7) for _ in range(n_tasks)]
+        kernel.run_until_idle(max_events=1_000_000)
+        assert all(t.state is TaskState.DEAD for t in tasks)
+
+
+class TestRecordReplayProperties:
+    """Any recorded Enoki run replays cleanly against the same code."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(500, 50_000),     # run ns
+                  st.integers(0, 30_000),       # sleep ns
+                  st.integers(1, 4)),           # phases
+        min_size=1, max_size=8,
+    ), st.integers(1, 3), st.sampled_from(["fifo", "wfq"]))
+    def test_roundtrip_matches(self, specs, nr_cpus, which):
+        from repro.core import EnokiSchedClass, Recorder, ReplayEngine
+        from repro.schedulers.fifo import EnokiFifo
+        from repro.schedulers.wfq import EnokiWfq
+        from repro.simkernel import Kernel, SimConfig, Topology
+        from repro.simkernel.program import Run, Sleep
+
+        def factory():
+            if which == "fifo":
+                return EnokiFifo(nr_cpus, 7)
+            return EnokiWfq(nr_cpus, 7)
+
+        recorder = Recorder()
+        kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+        EnokiSchedClass.register(kernel, factory(), 7, recorder=recorder)
+
+        def make_prog(run_ns, sleep_ns, phases):
+            def prog():
+                for _ in range(phases):
+                    yield Run(run_ns)
+                    if sleep_ns:
+                        yield Sleep(sleep_ns)
+            return prog
+
+        for r, s, p in specs:
+            kernel.spawn(make_prog(r, s, p), policy=7)
+        kernel.run_until_idle(max_events=500_000)
+        recorder.stop()
+
+        engine = ReplayEngine(factory, recorder.entries)
+        result = engine.run_sequential()
+        assert result.matched, result.divergences[:2]

@@ -1,0 +1,92 @@
+"""Public-API surface tests: the documented entry points exist and the
+layering rules hold."""
+
+import inspect
+
+import pytest
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+        assert repro.Kernel is not None
+        assert repro.SimConfig is not None
+        assert repro.Topology is not None
+        assert isinstance(repro.__version__, str)
+
+    def test_simkernel_exports(self):
+        from repro import simkernel
+        for name in simkernel.__all__:
+            assert getattr(simkernel, name, None) is not None, name
+
+    def test_core_exports(self):
+        from repro import core
+        for name in core.__all__:
+            assert getattr(core, name, None) is not None, name
+
+    def test_schedulers_exports(self):
+        from repro import schedulers
+        for name in schedulers.__all__:
+            assert getattr(schedulers, name, None) is not None, name
+
+    def test_arachne_exports(self):
+        from repro import arachne_rt
+        for name in arachne_rt.__all__:
+            assert getattr(arachne_rt, name, None) is not None, name
+
+
+class TestLayering:
+    def test_simkernel_does_not_import_core(self):
+        """The substrate must not depend on the framework above it."""
+        import repro.simkernel as simkernel
+        from pathlib import Path
+
+        package_dir = Path(inspect.getfile(simkernel)).parent
+        for path in package_dir.glob("*.py"):
+            text = path.read_text()
+            assert "from repro.core" not in text, path.name
+            assert "import repro.core" not in text, path.name
+
+    def test_enoki_schedulers_do_not_touch_the_kernel(self):
+        """Enoki scheduler modules import only the trait layer and task
+        constants — never the Kernel or SchedClass (paper: schedulers are
+        pure policy)."""
+        from pathlib import Path
+        import repro.schedulers as schedulers
+
+        package_dir = Path(inspect.getfile(schedulers)).parent
+        enoki_files = ["wfq.py", "fifo.py", "shinjuku.py", "locality.py",
+                       "arachne.py", "nest.py"]
+        for name in enoki_files:
+            text = (package_dir / name).read_text()
+            assert "simkernel.kernel" not in text, name
+            assert "sched_class" not in text, name
+
+    def test_every_public_module_has_a_docstring(self):
+        import importlib
+        import pkgutil
+        import repro
+
+        for info in pkgutil.walk_packages(repro.__path__,
+                                          prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue   # importing it would run the CLI
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"
+
+    def test_all_enoki_schedulers_implement_the_trait(self):
+        from repro.core.trait import EnokiScheduler
+        from repro.schedulers import (
+            EnokiCoreArbiter,
+            EnokiFifo,
+            EnokiLocality,
+            EnokiNest,
+            EnokiShinjuku,
+            EnokiWfq,
+        )
+
+        for cls in (EnokiCoreArbiter, EnokiFifo, EnokiLocality, EnokiNest,
+                    EnokiShinjuku, EnokiWfq):
+            assert issubclass(cls, EnokiScheduler)
+            # And each declares its upgrade transfer type (or None).
+            assert hasattr(cls, "TRANSFER_TYPE")

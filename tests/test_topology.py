@@ -1,0 +1,64 @@
+"""Unit tests for CPU topologies."""
+
+import pytest
+
+from repro.simkernel.errors import SimError
+from repro.simkernel.topology import Topology
+
+
+class TestPresets:
+    def test_small8_shape(self):
+        topo = Topology.small8()
+        assert topo.nr_cpus == 8
+        assert len(topo.sockets) == 1
+        assert len(topo.llcs) == 1
+        assert all(topo.smt_sibling(c) == -1 for c in topo.all_cpus())
+
+    def test_big80_shape(self):
+        topo = Topology.big80()
+        assert topo.nr_cpus == 80
+        assert len(topo.sockets) == 2
+        assert len(topo.socket_members(0)) == 40
+        assert len(topo.socket_members(1)) == 40
+
+    def test_big80_smt_pairing(self):
+        topo = Topology.big80()
+        for cpu in topo.all_cpus():
+            sib = topo.smt_sibling(cpu)
+            assert sib != -1
+            assert topo.smt_sibling(sib) == cpu
+            assert topo.distance(cpu, sib) == 1
+
+
+class TestDistance:
+    def test_same_cpu(self):
+        topo = Topology.small8()
+        assert topo.distance(3, 3) == 0
+
+    def test_same_llc(self):
+        topo = Topology.small8()
+        assert topo.distance(0, 7) == 2
+
+    def test_cross_socket(self):
+        topo = Topology.smp(8, sockets=2)
+        assert topo.distance(0, 4) == 4
+        assert topo.distance(0, 3) == 2
+
+    def test_llc_members(self):
+        topo = Topology.smp(8, sockets=2)
+        assert topo.siblings_in_llc(0) == (0, 1, 2, 3)
+        assert topo.siblings_in_llc(5) == (4, 5, 6, 7)
+
+
+class TestValidation:
+    def test_uneven_socket_split_rejected(self):
+        with pytest.raises(SimError):
+            Topology.smp(7, sockets=2)
+
+    def test_uneven_smt_split_rejected(self):
+        with pytest.raises(SimError):
+            Topology.smp(6, sockets=2, smt=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimError):
+            Topology([])

@@ -1,0 +1,123 @@
+"""Behavioural tests for the Enoki WFQ scheduler (paper section 4.2.1)."""
+
+import pytest
+
+from repro.core import EnokiSchedClass
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.wfq import EnokiWfq, WfqTransferState
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.simkernel.clock import msecs, usecs
+from repro.simkernel.program import Run, SetNice, Sleep
+from repro.simkernel.task import TaskState
+
+POLICY = 7
+
+
+def make(nr_cpus=8):
+    kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+    sched = EnokiWfq(nr_cpus, POLICY)
+    EnokiSchedClass.register(kernel, sched, POLICY, priority=10)
+    return kernel, sched
+
+
+def spinner(ns):
+    def prog():
+        yield Run(ns)
+    return prog
+
+
+class TestVruntimeFairness:
+    def test_equal_weight_equal_share(self):
+        kernel, _ = make(nr_cpus=1)
+        tasks = [kernel.spawn(spinner(msecs(30)), policy=POLICY)
+                 for _ in range(3)]
+        kernel.run_until(msecs(45))
+        runtimes = [t.sum_exec_runtime_ns for t in tasks]
+        assert max(runtimes) - min(runtimes) < msecs(10)
+
+    def test_weighted_share_follows_nice(self):
+        kernel, _ = make(nr_cpus=1)
+        heavy = kernel.spawn(spinner(msecs(40)), policy=POLICY, nice=0)
+        light = kernel.spawn(spinner(msecs(40)), policy=POLICY, nice=10)
+        kernel.run_until(msecs(30))
+        assert heavy.sum_exec_runtime_ns > 4 * light.sum_exec_runtime_ns
+
+    def test_prio_change_applies(self):
+        kernel, sched = make(nr_cpus=1)
+
+        def prog():
+            yield SetNice(5)
+            yield Run(msecs(1))
+
+        task = kernel.spawn(prog, policy=POLICY)
+        kernel.run_until_idle()
+        assert task.state is TaskState.DEAD
+
+    def test_sleeper_gets_bounded_bonus(self):
+        kernel, _ = make(nr_cpus=1)
+        hog = kernel.spawn(spinner(msecs(60)), policy=POLICY)
+
+        def napper():
+            yield Sleep(msecs(20))
+            yield Run(msecs(5))
+
+        nap = kernel.spawn(napper, policy=POLICY)
+        kernel.run_until_idle()
+        # Woken with bounded credit: it finishes promptly but the hog is
+        # not starved for the whole 5ms.
+        assert nap.stats.finished_ns < msecs(40)
+        assert hog.state is TaskState.DEAD
+
+
+class TestWorkStealing:
+    def test_idle_core_steals_from_longest_queue(self):
+        kernel, _ = make(nr_cpus=2)
+        # Overload: 6 tasks, 2 cores; any idling core must steal.
+        tasks = [kernel.spawn(spinner(msecs(10)), policy=POLICY)
+                 for _ in range(6)]
+        kernel.run_until_idle()
+        total = msecs(60)
+        # Work conserving: close to perfect 2-way parallelism.
+        assert kernel.now < total // 2 + msecs(8)
+        assert all(t.state is TaskState.DEAD for t in tasks)
+
+    def test_no_rebalance_without_idle(self):
+        """Paper: 'Otherwise, our scheduler does not rebalance tasks.'"""
+        kernel, _ = make(nr_cpus=2)
+        t1 = kernel.spawn(spinner(msecs(10)), policy=POLICY)
+        t2 = kernel.spawn(spinner(msecs(10)), policy=POLICY)
+        kernel.run_until_idle()
+        # Perfectly balanced load: nobody should have migrated.
+        assert t1.stats.migrations == 0
+        assert t2.stats.migrations == 0
+
+
+class TestTransferState:
+    def test_reregister_roundtrip(self):
+        sched = EnokiWfq(4, POLICY)
+        sched.vruntime[5] = 123
+        sched.weights[5] = 1024
+        state = sched.reregister_prepare()
+        assert isinstance(state, WfqTransferState)
+
+        new = EnokiWfq(4, POLICY)
+        new.reregister_init(state)
+        assert new.vruntime[5] == 123
+        assert new.generation == 2
+
+    def test_upgrade_preserves_fairness_state(self):
+        from repro.core import UpgradeManager
+
+        kernel, sched = make(nr_cpus=1)
+        shim = next(c for _p, c in kernel._classes
+                    if c.policy == POLICY)
+        tasks = [kernel.spawn(spinner(msecs(20)), policy=POLICY)
+                 for _ in range(3)]
+        kernel.run_until(msecs(10))
+        manager = UpgradeManager(kernel, shim)
+        manager.upgrade_now(EnokiWfq(1, POLICY))
+        kernel.run_until_idle()
+        finish = [t.stats.finished_ns for t in tasks]
+        # Fair sharing survived the upgrade: everyone finishes together.
+        assert max(finish) - min(finish) < msecs(12)
