@@ -8,6 +8,8 @@ Usage::
     python -m repro rocksdb --load 40000
     python -m repro upgrade
     python -m repro fairness
+    python -m repro trace --export chrome out.json
+    python -m repro stats
 
 These are quick single-configuration runs for exploration; the full
 table/figure reproductions live in ``benchmarks/``.
@@ -141,12 +143,68 @@ def cmd_fairness(args):
     return 0
 
 
+def _observed_pipe_run(rounds, hogs, capacity):
+    """Run the pipe workload (plus optional background hogs that force
+    work stealing) on an Enoki WFQ kernel with the Observer attached."""
+    from repro.obs import Observer
+    from repro.simkernel.clock import usecs
+    from repro.simkernel.program import Run, Sleep
+    from repro.workloads.pipe_bench import run_pipe_benchmark
+
+    kernel, policy = _wfq_kernel()
+    observer = Observer.attach(kernel, capacity=capacity)
+
+    def hog():
+        for _ in range(200):
+            yield Run(usecs(40))
+            yield Sleep(usecs(15))
+
+    # Background load pinned to half the cores builds uneven queues, so
+    # the trace also shows balancing: steals (migrate) and rejections.
+    for i in range(hogs):
+        kernel.spawn(hog, name=f"hog-{i}", policy=policy,
+                     allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
+    result = run_pipe_benchmark(kernel, policy, rounds=rounds)
+    return kernel, observer, result
+
+
+def cmd_trace(args):
+    kernel, observer, result = _observed_pipe_run(
+        args.rounds, args.hogs, args.capacity)
+    if args.export == "chrome":
+        observer.export_chrome(args.output)
+    else:
+        observer.export_ftrace(args.output)
+    summary = observer.summary()
+    rows = [[kind, count] for kind, count in sorted(summary.items())]
+    rows.append(["(dropped)", observer.dropped])
+    print(render_table(
+        f"trace of sched-pipe + {args.hogs} hogs "
+        f"({result.latency_us_per_message:.2f} us/msg)",
+        ["event kind", "count"], rows))
+    print(f"wrote {args.export} trace to {args.output}")
+    return 0
+
+
+def cmd_stats(args):
+    _kernel, observer, result = _observed_pipe_run(
+        args.rounds, args.hogs, args.capacity)
+    print(f"sched-pipe + {args.hogs} hogs: "
+          f"{result.latency_us_per_message:.2f} us/msg")
+    print(observer.report())
+    return 0
+
+
 EXPERIMENTS = {
     "pipe": (cmd_pipe, "Table 3 quick run: sched-pipe CFS vs Enoki WFQ"),
     "schbench": (cmd_schbench, "Table 4 quick run: schbench latencies"),
     "rocksdb": (cmd_rocksdb, "Figure 2 quick run: dispersed load"),
     "upgrade": (cmd_upgrade, "Section 5.7 quick run: live upgrade pause"),
     "fairness": (cmd_fairness, "Appendix A.1 quick run: fair sharing"),
+    "trace": (cmd_trace, "capture a full-stack trace and export it "
+                         "(chrome/ftrace)"),
+    "stats": (cmd_stats, "metrics registry + per-callback latency "
+                         "percentiles"),
 }
 
 
@@ -172,6 +230,21 @@ def main(argv=None):
 
     sub.add_parser("upgrade", help=EXPERIMENTS["upgrade"][1])
     sub.add_parser("fairness", help=EXPERIMENTS["fairness"][1])
+
+    p = sub.add_parser("trace", help=EXPERIMENTS["trace"][1])
+    p.add_argument("--export", choices=["chrome", "ftrace"],
+                   default="chrome")
+    p.add_argument("--rounds", type=int, default=500)
+    p.add_argument("--hogs", type=int, default=12,
+                   help="background tasks that force work stealing")
+    p.add_argument("--capacity", type=int, default=500_000,
+                   help="trace ring-buffer capacity (events)")
+    p.add_argument("output", nargs="?", default="trace.json")
+
+    p = sub.add_parser("stats", help=EXPERIMENTS["stats"][1])
+    p.add_argument("--rounds", type=int, default=500)
+    p.add_argument("--hogs", type=int, default=12)
+    p.add_argument("--capacity", type=int, default=500_000)
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -16,6 +16,8 @@ paper assigns to Enoki-C (section 3):
   measured 100–150 ns) into the kernel's cost accounting.
 """
 
+import time
+
 from repro.core import messages as msgs
 from repro.core.hints import QueueRegistry, RevMessage, RingBuffer, UserMessage
 from repro.core.libenoki import LibEnoki
@@ -41,6 +43,9 @@ class EnokiSchedClass(SchedClass):
         self._pending_blackout_ns = 0
         self._armed_timers = {}
         self._extra_cost_ns = 0
+        #: optional :class:`~repro.obs.profiler.CallbackProfiler`; when
+        #: None (the default) dispatch takes the unprofiled fast path
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # registration convenience
@@ -82,13 +87,50 @@ class EnokiSchedClass(SchedClass):
         self.blocked_until_ns = self.kernel.now + pause_ns
         self._pending_blackout_ns = pause_ns
 
+    def _hook_virtual_cost_ns(self, hook):
+        """The modelled kernel time one dispatch of ``hook`` costs.
+
+        Mirrors :meth:`invocation_cost_ns` but side-effect free (no
+        blackout consumption), so the profiler can attribute virtual time
+        per callback without disturbing the cost accounting.
+        """
+        cfg = self.kernel.config
+        if hook == "pick_next_task":
+            cost = cfg.sched_pick_ns
+        elif hook == "balance":
+            cost = cfg.sched_balance_ns
+        else:
+            cost = cfg.sched_queue_ns
+        cost += cfg.enoki_call_ns
+        if self.recorder is not None and self.recorder.active:
+            cost += cfg.record_overhead_ns
+        return cost
+
     # ------------------------------------------------------------------
     # dispatch helper
     # ------------------------------------------------------------------
 
     def _dispatch(self, message, extra=None):
         thread = self._current_thread()
-        return self.lib.dispatch(message, thread=thread, extra=extra)
+        kernel = self.kernel
+        trace = kernel.trace if kernel is not None else None
+        profiler = self.profiler
+        if trace is None and profiler is None:
+            # Null-hook fast path: observability off, zero extra work.
+            return self.lib.dispatch(message, thread=thread, extra=extra)
+        wall_start = time.perf_counter_ns()
+        response = self.lib.dispatch(message, thread=thread, extra=extra)
+        wall_ns = time.perf_counter_ns() - wall_start
+        hook = message.FUNCTION
+        virtual_ns = self._hook_virtual_cost_ns(hook)
+        if trace is not None:
+            trace("enoki_msg", t=kernel.now, cpu=thread,
+                  func=hook, policy=self.policy, wall_ns=wall_ns,
+                  cost=virtual_ns)
+        if profiler is not None:
+            profiler.note(hook, virtual_ns=virtual_ns, wall_ns=wall_ns,
+                          policy=self.policy)
+        return response
 
     def _current_thread(self):
         """The kernel thread id for record tagging: the handling CPU."""
@@ -378,8 +420,16 @@ class EnokiSchedClass(SchedClass):
         queue_id = self.ensure_user_queue(task.tgid)
         ring = self.queues.user_queues[queue_id]
         if not ring.push(UserMessage(task.pid, payload)):
+            if self.kernel.trace is not None:
+                self.kernel.trace("hint_drop", t=self.kernel.now,
+                                  cpu=task.cpu, pid=task.pid,
+                                  queue=queue_id)
             return False
         self._with_thread(task.cpu)
+        if self.kernel.trace is not None:
+            self.kernel.trace("hint_enqueue", t=self.kernel.now,
+                              cpu=task.cpu, pid=task.pid, queue=queue_id,
+                              depth=len(ring))
         if self.recorder is not None and self.recorder.active:
             # "LibEnoki records each call and hint sent to the scheduler"
             # (section 3.4): the replay refills the ring from this entry.
@@ -393,7 +443,12 @@ class EnokiSchedClass(SchedClass):
         ring = self.queues.rev_queue_for_tgid(task.tgid)
         if ring is None:
             return []
-        return [entry.payload for entry in ring.drain()]
+        drained = [entry.payload for entry in ring.drain()]
+        if self.kernel.trace is not None:
+            self.kernel.trace("hint_dequeue", t=self.kernel.now,
+                              cpu=task.cpu, pid=task.pid,
+                              count=len(drained))
+        return drained
 
     def push_rev_message(self, queue_id, payload):
         """EnokiEnv backend: scheduler sends a kernel-to-user message."""

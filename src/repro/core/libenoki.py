@@ -99,6 +99,12 @@ class EnokiEnv:
     def note_lock_op(self, op, lock_id):
         if self.recorder is not None:
             self.recorder.note_lock_op(op, lock_id, self.current_thread)
+        shim = self._enoki_c
+        if shim is not None:
+            kernel = shim.kernel
+            if kernel is not None and kernel.trace is not None:
+                kernel.trace("lock_" + op, t=kernel.now,
+                             cpu=self.current_thread, lock=lock_id)
 
     # -- timers ------------------------------------------------------------
 

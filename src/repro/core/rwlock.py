@@ -33,6 +33,11 @@ class SchedulerRwLock:
         self._writer = False
         self.read_acquisitions = 0
         self.write_acquisitions = 0
+        #: optional ``callback(op, lock_name)`` observability hook; ``op``
+        #: is one of ``read_acquire``/``read_release``/``write_acquire``/
+        #: ``write_release``.  Left None (a single attribute test) on the
+        #: fast path so disabled tracing costs nothing measurable.
+        self.on_event = None
 
     # -- read side --------------------------------------------------------
 
@@ -47,7 +52,9 @@ class SchedulerRwLock:
                     self._readers_ok.wait()
             self._readers += 1
             self.read_acquisitions += 1
-            return True
+        if self.on_event is not None:
+            self.on_event("read_acquire", self.name)
+        return True
 
     def release_read(self):
         with self._mutex:
@@ -56,6 +63,8 @@ class SchedulerRwLock:
             self._readers -= 1
             if self._readers == 0:
                 self._readers_ok.notify_all()
+        if self.on_event is not None:
+            self.on_event("read_release", self.name)
 
     # -- write side ----------------------------------------------------------
 
@@ -67,6 +76,8 @@ class SchedulerRwLock:
                 self._readers_ok.wait()
             self._writer = True
             self.write_acquisitions += 1
+        if self.on_event is not None:
+            self.on_event("write_acquire", self.name)
 
     def try_acquire_write(self):
         """Non-blocking write acquire for the simulator's upgrade path."""
@@ -75,7 +86,9 @@ class SchedulerRwLock:
                 return False
             self._writer = True
             self.write_acquisitions += 1
-            return True
+        if self.on_event is not None:
+            self.on_event("write_acquire", self.name)
+        return True
 
     def release_write(self):
         with self._mutex:
@@ -83,6 +96,8 @@ class SchedulerRwLock:
                 raise UpgradeError(f"{self.name}: write release without hold")
             self._writer = False
             self._readers_ok.notify_all()
+        if self.on_event is not None:
+            self.on_event("write_release", self.name)
 
     @property
     def write_held(self):

@@ -73,10 +73,13 @@ class UpgradeManager:
             raise UpgradeError(
                 "could not quiesce: reader still inside the module"
             )
+        self._trace_phase("quiesce", old=type(old_scheduler).__name__,
+                          new=type(new_scheduler).__name__)
         try:
             # 2. Export state from the old version.
             state = old_lib.dispatch_locked(msgs.MsgReregisterPrepare())
             self._check_state_type(old_scheduler, state)
+            self._trace_phase("prepare", has_state=state is not None)
 
             # 3. Build the new module and import the state.  The token
             # registry and hint rings live in Enoki-C and survive the swap,
@@ -90,15 +93,19 @@ class UpgradeManager:
                 msgs.MsgReregisterInit(has_state=state is not None),
                 extra=state,
             )
+            self._trace_phase("init")
 
             # 4. Swap the dispatch pointer.
             shim.lib = new_lib
+            self._trace_phase("swap")
         finally:
             old_lib.rwlock.release_write()
 
         transferred_tasks = len(shim.tokens.live_pids())
         pause_ns = self._pause_model(transferred_tasks)
         shim.note_upgrade_blackout(pause_ns)
+        self._trace_phase("complete", pause_ns=pause_ns,
+                          tasks=transferred_tasks)
 
         report = UpgradeReport(
             requested_at_ns=kernel.now,
@@ -124,6 +131,13 @@ class UpgradeManager:
         return self.kernel.events.at(at_ns, do_upgrade)
 
     # ------------------------------------------------------------------
+
+    def _trace_phase(self, phase, **fields):
+        """Emit one ``upgrade`` event per quiesce-protocol phase."""
+        kernel = self.kernel
+        if kernel.trace is not None:
+            kernel.trace("upgrade", t=kernel.now, cpu=-1, phase=phase,
+                         **fields)
 
     def _pause_model(self, transferred_tasks):
         cfg = self.kernel.config

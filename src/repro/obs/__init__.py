@@ -1,0 +1,46 @@
+"""Unified observability for the Enoki reproduction.
+
+Everything the paper's methodology needs to *see* a scheduler: the typed
+event taxonomy captured by the kernel trace hook
+(:mod:`repro.simkernel.tracing`), a metrics registry with counters,
+gauges, and log-bucketed latency histograms (:mod:`~repro.obs.metrics`),
+a per-callback profiler for Enoki message handlers
+(:mod:`~repro.obs.profiler`), and exporters to Chrome trace-event JSON
+(Perfetto-loadable) and ftrace-style text (:mod:`~repro.obs.export`).
+
+:class:`~repro.obs.observer.Observer` ties them together::
+
+    from repro.obs import Observer
+
+    observer = Observer.attach(kernel)
+    ... run workload ...
+    print(observer.report())
+    observer.export_chrome("trace.json")
+
+With no observer attached every hook site is a single ``is None`` test —
+the null-hook fast path keeps disabled-tracing overhead near zero.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    ftrace_lines,
+    write_chrome,
+    write_ftrace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.profiler import CallbackProfile, CallbackProfiler
+
+__all__ = [
+    "CallbackProfile",
+    "CallbackProfiler",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "chrome_trace",
+    "ftrace_lines",
+    "write_chrome",
+    "write_ftrace",
+]

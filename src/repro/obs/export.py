@@ -1,0 +1,138 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and ftrace text.
+
+The Chrome format (the ``chrome://tracing`` / Perfetto "JSON array"
+flavour) renders each CPU as a track: ``dispatch``/``idle`` events are
+reconstructed into duration slices showing which task held the CPU, and
+every other event in the taxonomy becomes an instant marker on its CPU's
+track.  Timestamps are microseconds (the format's unit); durations and
+instants stay ordered because the exporter sorts by ``ts`` before
+emitting.
+
+The ftrace flavour is a line-per-event text log in the familiar
+``comm-pid [cpu] time: event: fields`` shape, convenient for grepping.
+"""
+
+import json
+
+
+def _task_name(task_names, pid):
+    if pid is None:
+        return "<idle>"
+    if task_names and pid in task_names:
+        return task_names[pid]
+    return f"pid-{pid}"
+
+
+def _cpu_slices(events):
+    """Reconstruct (cpu, pid, start_ns, end_ns) runs from dispatch/idle."""
+    open_slices = {}                    # cpu -> (pid, start_ns)
+    slices = []
+    last_t = 0
+    for event in events:
+        if event.t_ns > last_t:
+            last_t = event.t_ns
+        if event.kind == "dispatch":
+            previous = open_slices.pop(event.cpu, None)
+            if previous is not None:
+                slices.append((event.cpu, previous[0], previous[1],
+                               event.t_ns))
+            open_slices[event.cpu] = (event.pid, event.t_ns)
+        elif event.kind == "idle":
+            previous = open_slices.pop(event.cpu, None)
+            if previous is not None:
+                slices.append((event.cpu, previous[0], previous[1],
+                               event.t_ns))
+    for cpu, (pid, start) in open_slices.items():
+        if last_t > start:
+            slices.append((cpu, pid, start, last_t))
+    return slices
+
+
+def chrome_trace(events, task_names=None):
+    """Build the Chrome trace-event document (a JSON-serialisable dict)."""
+    events = list(events)
+    trace_events = []
+
+    for cpu, pid, start_ns, end_ns in _cpu_slices(events):
+        trace_events.append({
+            "name": _task_name(task_names, pid),
+            "cat": "sched",
+            "ph": "X",
+            "ts": start_ns / 1000.0,
+            "dur": (end_ns - start_ns) / 1000.0,
+            "pid": 0,
+            "tid": cpu,
+            "args": {"pid": pid},
+        })
+
+    for event in events:
+        if event.kind in ("dispatch", "idle"):
+            continue
+        args = {k: v for k, v in event.args
+                if isinstance(v, (int, float, str, bool, type(None)))}
+        if event.pid is not None:
+            args["pid"] = event.pid
+        if event.cost_ns:
+            args["cost_ns"] = event.cost_ns
+        trace_events.append({
+            "name": event.kind,
+            "cat": "obs",
+            "ph": "i",
+            "ts": event.t_ns / 1000.0,
+            "s": "t",
+            "pid": 0,
+            "tid": event.cpu if event.cpu >= 0 else 0,
+            "args": args,
+        })
+
+    trace_events.sort(key=lambda e: e["ts"])
+
+    metadata = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": "simkernel"},
+    }]
+    for cpu in sorted({e["tid"] for e in trace_events}):
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": cpu,
+            "args": {"name": f"cpu {cpu}"},
+        })
+
+    return {"traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome(events, path, task_names=None):
+    """Serialise the Chrome trace to ``path`` (str/Path or file object)."""
+    document = chrome_trace(events, task_names=task_names)
+    if hasattr(path, "write"):
+        json.dump(document, path)
+    else:
+        with open(path, "w") as fh:
+            json.dump(document, fh)
+    return document
+
+
+def ftrace_lines(events, task_names=None):
+    """Yield one ftrace-style text line per event."""
+    for event in events:
+        comm = _task_name(task_names, event.pid)
+        pid = event.pid if event.pid is not None else 0
+        cpu = event.cpu if event.cpu >= 0 else 0
+        fields = " ".join(f"{k}={v}" for k, v in event.args)
+        if event.cost_ns:
+            fields = f"cost_ns={event.cost_ns} {fields}".strip()
+        suffix = f" {fields}" if fields else ""
+        yield (f"{comm:>16s}-{pid:<5d} [{cpu:03d}] "
+               f"{event.t_ns / 1e9:12.6f}: {event.kind}:{suffix}")
+
+
+def write_ftrace(events, path, task_names=None):
+    """Write the ftrace-style text log to ``path``."""
+    lines = ftrace_lines(events, task_names=task_names)
+    if hasattr(path, "write"):
+        for line in lines:
+            path.write(line + "\n")
+        return
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")

@@ -1,0 +1,206 @@
+"""Counters, gauges, and log-bucketed latency histograms.
+
+The registry is the substrate's ``/proc``-style metrics surface: the
+kernel trace hook, the callback profiler, and workloads all feed it, and
+``repro stats`` renders it.  Histograms use HdrHistogram-style log2
+bucketing with sub-buckets, so percentiles up to p999 are available at a
+bounded relative error (at most 1/8 with the default 8 sub-buckets per
+octave) while
+ingestion stays O(1) with a small fixed memory footprint — the property
+the paper's overhead ablation needs from in-kernel telemetry.
+"""
+
+#: sub-bucket resolution: 2**SUBBUCKET_BITS linear slots per power of two
+SUBBUCKET_BITS = 4
+_SUB = 1 << SUBBUCKET_BITS          # values below this are binned exactly
+_HALF = _SUB >> 1
+
+
+def _bucket_index(value):
+    """Map a non-negative int to its log-bucket index (monotone)."""
+    if value < _SUB:
+        return value
+    shift = value.bit_length() - SUBBUCKET_BITS
+    # The top SUBBUCKET_BITS bits (MSB always set) select the sub-bucket.
+    return _SUB + shift * _HALF + ((value >> shift) - _HALF)
+
+
+def _bucket_bounds(index):
+    """Inverse of :func:`_bucket_index`: [lower, upper) of one bucket."""
+    if index < _SUB:
+        return index, index + 1
+    shift, sub = divmod(index - _SUB, _HALF)
+    lower = (_HALF + sub) << shift
+    return lower, lower + (1 << shift)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def add(self, delta):
+        self.value += delta
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Log-bucketed distribution of non-negative integer samples."""
+
+    __slots__ = ("name", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, name):
+        self.name = name
+        self.buckets = {}           # bucket index -> sample count
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+    def record(self, value):
+        value = int(value)
+        if value < 0:
+            value = 0
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """The value at percentile ``p`` (0..100), interpolated inside the
+        containing bucket.  Returns 0.0 for an empty histogram."""
+        if not self.count:
+            return 0.0
+        if p <= 0:
+            return float(self.min)
+        if p >= 100:
+            return float(self.max)
+        target = p / 100.0 * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            in_bucket = self.buckets[index]
+            if seen + in_bucket >= target:
+                lower, upper = _bucket_bounds(index)
+                fraction = (target - seen) / in_bucket
+                value = lower + (upper - lower) * fraction
+                return float(min(max(value, self.min), self.max))
+            seen += in_bucket
+        return float(self.max)
+
+    def quantiles(self):
+        """The standard latency summary: p50/p90/p99/p999."""
+        return {
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }
+
+    def snapshot(self):
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min or 0,
+            "max": self.max or 0,
+            "mean": self.mean,
+        }
+        out.update(self.quantiles())
+        return out
+
+    def __repr__(self):
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first touch."""
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def counter(self, name):
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name):
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name):
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    def snapshot(self):
+        """Plain-data dump of every metric (JSON-serialisable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self):
+        """Human-readable report used by ``repro stats``."""
+        lines = []
+        if self.counters:
+            lines.append("counters:")
+            for name, counter in sorted(self.counters.items()):
+                lines.append(f"  {name:<42s} {counter.value}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name, gauge in sorted(self.gauges.items()):
+                lines.append(f"  {name:<42s} {gauge.value}")
+        if self.histograms:
+            lines.append("histograms (ns):")
+            header = (f"  {'name':<34s} {'count':>8s} {'mean':>10s} "
+                      f"{'p50':>10s} {'p90':>10s} {'p99':>10s} {'p999':>10s}")
+            lines.append(header)
+            for name, hist in sorted(self.histograms.items()):
+                q = hist.quantiles()
+                lines.append(
+                    f"  {name:<34s} {hist.count:>8d} {hist.mean:>10.0f} "
+                    f"{q['p50']:>10.0f} {q['p90']:>10.0f} "
+                    f"{q['p99']:>10.0f} {q['p999']:>10.0f}"
+                )
+        return "\n".join(lines)

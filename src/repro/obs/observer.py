@@ -1,0 +1,177 @@
+"""The one-stop observability attach point.
+
+``Observer.attach(kernel)`` wires every layer of the stack at once:
+
+* installs itself as the kernel trace hook (it *is* a
+  :class:`~repro.simkernel.tracing.SchedTracer`, so all tracer queries —
+  ``timeline``, ``busy_ns``, ``events_of_kind`` — work on it);
+* finds every loaded Enoki shim and installs a
+  :class:`~repro.obs.profiler.CallbackProfiler` on it;
+* hooks each scheduler's quiesce read-write lock so acquisitions appear
+  in the event stream;
+* maintains a :class:`~repro.obs.metrics.MetricsRegistry` fed live with
+  per-kind event counters and dispatch-cost histograms, and on
+  :meth:`collect` with the kernel's aggregate statistics and per-task
+  wakeup-latency distributions.
+
+Detaching restores the null-hook fast path everywhere, so a kernel that
+never attaches an Observer pays only a handful of ``is None`` tests —
+benchmark numbers are unaffected (see ``bench_ablation_overhead``).
+"""
+
+from repro.obs.export import write_chrome, write_ftrace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import CallbackProfiler
+from repro.simkernel.tracing import SchedTracer
+
+
+class Observer(SchedTracer):
+    """Full-stack tracer + metrics + profilers for one kernel."""
+
+    def __init__(self, capacity=200_000, kinds=None, registry=None):
+        super().__init__(capacity, kinds=kinds)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.profilers = {}         # policy -> CallbackProfiler
+        self._hooked_rwlocks = []
+        self._observed_shims = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, kernel, capacity=200_000, kinds=None):
+        """Install on ``kernel`` and instrument every loaded Enoki shim."""
+        observer = super().attach(kernel, capacity, kinds=kinds)
+        observer.observe_framework()
+        return observer
+
+    def observe_framework(self):
+        """(Re)discover Enoki shims on the attached kernel and instrument
+        them.  Call again after registering a scheduler post-attach."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        for _prio, sched_class in kernel._classes:
+            lib = getattr(sched_class, "lib", None)
+            if lib is None or not hasattr(sched_class, "profiler"):
+                continue                      # not an Enoki shim
+            if sched_class in self._observed_shims:
+                continue
+            profiler = self.profilers.get(sched_class.policy)
+            if profiler is None:
+                profiler = CallbackProfiler()
+                self.profilers[sched_class.policy] = profiler
+            profiler.install(sched_class)
+            self._observed_shims.append(sched_class)
+            rwlock = lib.rwlock
+            if rwlock.on_event is None:
+                rwlock.on_event = self._rwlock_hook
+                self._hooked_rwlocks.append(rwlock)
+
+    def detach(self):
+        for rwlock in self._hooked_rwlocks:
+            if rwlock.on_event == self._rwlock_hook:
+                rwlock.on_event = None
+        self._hooked_rwlocks = []
+        for profiler in self.profilers.values():
+            profiler.uninstall()
+        self._observed_shims = []
+        super().detach()
+
+    # ------------------------------------------------------------------
+    # event ingestion
+    # ------------------------------------------------------------------
+
+    def _hook(self, kind, **fields):
+        super()._hook(kind, **fields)
+        registry = self.registry
+        registry.counter("events." + kind).inc()
+        if kind == "dispatch":
+            registry.histogram("kernel.dispatch_cost_ns").record(
+                fields.get("cost", 0))
+        elif kind == "enoki_msg":
+            registry.histogram("enoki.msg_wall_ns").record(
+                fields.get("wall_ns", 0))
+
+    def _rwlock_hook(self, op, name):
+        kernel = self._kernel
+        if kernel is None:
+            return
+        self._hook("rwlock_" + op, t=kernel.now, cpu=-1, lock=name)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def collect(self):
+        """Pull kernel aggregate stats into the registry; returns it."""
+        kernel = self._kernel
+        registry = self.registry
+        if kernel is None:
+            return registry
+        stats = kernel.stats
+        registry.gauge("kernel.total_wakeups").set(stats.total_wakeups)
+        registry.gauge("kernel.total_migrations").set(stats.total_migrations)
+        registry.gauge("kernel.failed_migrations").set(
+            stats.failed_migrations)
+        registry.gauge("kernel.pick_errors").set(stats.pick_errors)
+        registry.gauge("kernel.sched_invocations").set(
+            stats.sched_invocations)
+        registry.gauge("kernel.busy_ns_total").set(stats.busy_ns_total())
+        registry.gauge("kernel.now_ns").set(kernel.now)
+        for cpu_stats in stats.cpus:
+            prefix = f"cpu{cpu_stats.cpu}"
+            registry.gauge(f"kernel.{prefix}.busy_ns").set(cpu_stats.busy_ns)
+            registry.gauge(f"kernel.{prefix}.idle_ns").set(cpu_stats.idle_ns)
+            registry.gauge(f"kernel.{prefix}.switches").set(
+                cpu_stats.switches)
+        latency_hist = registry.histogram("task.wakeup_latency_ns")
+        for task in kernel.tasks.values():
+            for sample in task.stats.wakeup_latencies:
+                latency_hist.record(sample)
+        for policy, profiler in sorted(self.profilers.items()):
+            profiler.publish(registry, prefix=f"enoki.policy{policy}")
+        return registry
+
+    # ------------------------------------------------------------------
+    # reporting and export
+    # ------------------------------------------------------------------
+
+    def _task_names(self):
+        kernel = self._kernel
+        if kernel is None:
+            return {}
+        return {pid: task.name for pid, task in kernel.tasks.items()}
+
+    def report(self):
+        """The ``repro stats`` text report."""
+        self.collect()
+        sections = []
+        summary = self.summary()
+        if summary:
+            sections.append("events by kind:")
+            sections.extend(
+                f"  {kind:<24s} {count}"
+                for kind, count in sorted(summary.items())
+            )
+        if self.dropped:
+            sections.append(f"  (ring wrapped: {self.dropped} events "
+                            "dropped)")
+        for policy, profiler in sorted(self.profilers.items()):
+            if profiler.total_calls():
+                sections.append(
+                    f"per-callback profile (policy {policy}):")
+                sections.append(profiler.report())
+        sections.append(self.registry.render())
+        return "\n".join(sections)
+
+    def export_chrome(self, path):
+        """Write a Perfetto-loadable Chrome trace of everything captured."""
+        return write_chrome(self.events, path,
+                            task_names=self._task_names())
+
+    def export_ftrace(self, path):
+        """Write an ftrace-style text log of everything captured."""
+        return write_ftrace(self.events, path,
+                            task_names=self._task_names())

@@ -43,6 +43,7 @@ class Kernel:
         self.clock = Clock()
         self.events = EventQueue(self.clock)
         self.timers = TimerService(self.events, self.config)
+        self.timers.owner = self
         self.rqs = [KernelRunQueue(c) for c in self.topology.all_cpus()]
         self.stats = KernelStats(self.topology.nr_cpus)
         self.tasks = {}
@@ -163,9 +164,15 @@ class Kernel:
         if cpu == DEFERRED_CPU:
             self._limbo.add(task.pid)
             cls.task_new(task, DEFERRED_CPU)
+            if self.trace is not None:
+                self.trace("fork", t=self.now, cpu=origin_cpu, pid=task.pid,
+                           deferred=True)
             return hook_cost
         self._attach_runnable(task, cpu)
         cls.task_new(task, cpu)
+        if self.trace is not None:
+            self.trace("fork", t=self.now, cpu=cpu, pid=task.pid,
+                       origin=origin_cpu)
         self._kick_cpu_for_wakeup(task, cpu, origin_cpu, cls)
         return hook_cost
 
@@ -218,9 +225,15 @@ class Kernel:
         if cpu == DEFERRED_CPU:
             self._limbo.add(task.pid)
             cls.task_wakeup(task, DEFERRED_CPU)
+            if self.trace is not None:
+                self.trace("wakeup", t=self.now, cpu=-1, pid=task.pid,
+                           waker=waker, deferred=True)
             return hook_cost if charge_waker else 0
         self._attach_runnable(task, cpu)
         cls.task_wakeup(task, cpu)
+        if self.trace is not None:
+            self.trace("wakeup", t=self.now, cpu=cpu, pid=task.pid,
+                       waker=waker, sync=sync)
         extra = 0 if charge_waker else hook_cost
         self._kick_cpu_for_wakeup(task, cpu, waker_cpu, cls, extra)
         return hook_cost if charge_waker else 0
@@ -342,6 +355,8 @@ class Kernel:
         self._attach_runnable(prev, cpu)
         cls = self.class_of(prev)
         cls.task_preempt(prev, cpu)
+        if self.trace is not None:
+            self.trace("preempt", t=self.now, cpu=cpu, pid=prev.pid)
         self._pick_and_switch(
             cpu, prev=prev,
             base_cost=cls.invocation_cost_ns("task_preempt"),
@@ -699,33 +714,48 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def try_migrate(self, pid, dest_cpu, cls):
-        """Move a queued (not running) task to ``dest_cpu``'s run queue."""
+        """Move a queued (not running) task to ``dest_cpu``'s run queue.
+
+        Every rejected request counts as a failed migration in
+        :class:`~repro.simkernel.stats.KernelStats` (and traces the
+        rejection reason), so balancers' miss rates are observable.
+        """
         task = self.tasks.get(pid)
         if task is None or task.state != TaskState.RUNNABLE:
-            return False
+            return self._migrate_failed(pid, dest_cpu, "not-runnable")
         if pid in self._limbo:
-            return False
+            return self._migrate_failed(pid, dest_cpu, "in-limbo")
         src_cpu = task.cpu
         if src_cpu == dest_cpu:
-            return False
+            return self._migrate_failed(pid, dest_cpu, "same-cpu")
         src_rq = self.rqs[src_cpu]
         if not src_rq.has(pid):
-            return False
+            return self._migrate_failed(pid, dest_cpu, "not-queued")
         if not task.can_run_on(dest_cpu):
-            return False
+            return self._migrate_failed(pid, dest_cpu, "affinity")
         if (self.now - task.last_enqueue_ns
                 < self.config.migration_min_queued_ns):
             # Its wakeup IPI is still in flight; the rq lock would be held.
-            return False
+            return self._migrate_failed(pid, dest_cpu, "rq-locked")
         if self.now < task.kick_at_ns:
             # The woken task belongs to the CPU whose kick is in flight.
-            return False
+            return self._migrate_failed(pid, dest_cpu, "kick-in-flight")
         src_rq.detach(task)
         self.rqs[dest_cpu].attach(task)
         task.stats.migrations += 1
         self.stats.total_migrations += 1
         cls.migrate_task_rq(task, dest_cpu)
+        if self.trace is not None:
+            self.trace("migrate", t=self.now, cpu=dest_cpu, pid=pid,
+                       src=src_cpu)
         return True
+
+    def _migrate_failed(self, pid, dest_cpu, reason):
+        self.stats.failed_migrations += 1
+        if self.trace is not None:
+            self.trace("migrate_failed", t=self.now, cpu=dest_cpu, pid=pid,
+                       reason=reason)
+        return False
 
     # ------------------------------------------------------------------
     # tick

@@ -7,8 +7,14 @@ State transitions are validated; an illegal transition raises
 """
 
 import enum
+from collections import deque
 
 from repro.simkernel.errors import TaskLifecycleError
+
+#: retention bound for per-task wakeup-latency samples — long simulations
+#: with ``keep_samples=True`` keep a sliding window of the most recent
+#: samples instead of growing without limit
+WAKEUP_SAMPLE_CAP = 65_536
 
 #: Linux's sched_prio_to_weight[] table, indexed by nice + 20.
 NICE_TO_WEIGHT = (
@@ -151,14 +157,19 @@ class TaskStats:
 
     __slots__ = (
         "wakeups", "wakeup_latency_total_ns", "wakeup_latencies",
+        "wakeup_samples_dropped",
         "migrations", "preemptions", "yields",
         "created_ns", "finished_ns", "blocked_count",
     )
 
-    def __init__(self):
+    def __init__(self, sample_cap=WAKEUP_SAMPLE_CAP):
         self.wakeups = 0
         self.wakeup_latency_total_ns = 0
-        self.wakeup_latencies = []
+        # Bounded sliding window: the newest sample is always
+        # ``wakeup_latencies[-1]``; once full, the oldest sample is evicted
+        # and counted in ``wakeup_samples_dropped``.
+        self.wakeup_latencies = deque(maxlen=sample_cap)
+        self.wakeup_samples_dropped = 0
         self.migrations = 0
         self.preemptions = 0
         self.yields = 0
@@ -170,7 +181,10 @@ class TaskStats:
         self.wakeups += 1
         self.wakeup_latency_total_ns += latency_ns
         if keep_samples:
-            self.wakeup_latencies.append(latency_ns)
+            samples = self.wakeup_latencies
+            if len(samples) == samples.maxlen:
+                self.wakeup_samples_dropped += 1
+            samples.append(latency_ns)
 
     @property
     def mean_wakeup_latency_ns(self):

@@ -31,12 +31,31 @@ class Timer:
 
 
 class TimerService:
-    """Arms one-shot timers with a minimum programming delay."""
+    """Arms one-shot timers with a minimum programming delay.
 
-    def __init__(self, events, config):
+    ``owner`` (set by the kernel that embeds the service) exposes the
+    kernel's ``trace`` hook so every fire emits a ``timer_fire`` event when
+    tracing is on; a standalone service (owner None) traces nothing.
+    """
+
+    def __init__(self, events, config, owner=None):
         self.events = events
         self.config = config
+        self.owner = owner
         self.armed = 0
+        self.fired = 0
+
+    def _note_fire(self, timer):
+        self.fired += 1
+        owner = self.owner
+        if owner is not None and owner.trace is not None:
+            tag = timer.tag
+            cpu = -1
+            if isinstance(tag, tuple) and len(tag) == 2 \
+                    and isinstance(tag[1], int):
+                cpu = tag[1]      # conventionally ("tick", cpu) etc.
+            owner.trace("timer_fire", t=self.events.clock.now, cpu=cpu,
+                        tag=str(tag) if tag is not None else None)
 
     def arm(self, delay_ns, callback, tag=None):
         """Arm a one-shot timer ``delay_ns`` from now.
@@ -52,6 +71,7 @@ class TimerService:
         def fire():
             timer.fired = True
             self.armed -= 1
+            self._note_fire(timer)
             callback(timer)
 
         timer.handle = self.events.after(
@@ -70,6 +90,7 @@ class TimerService:
         def fire():
             if chain.cancelled:
                 return
+            self._note_fire(chain)
             callback(chain)
             if not chain.cancelled:
                 chain.handle = self.events.after(period_ns, fire)

@@ -5,6 +5,32 @@ structure: typed events, bounded retention, filtering, and the analysis
 helpers experiments use to answer questions like "how long did pid 7 wait
 per wakeup?" or "what ran on CPU 2 between t1 and t2?".
 
+The event taxonomy spans every layer of the reproduction (the unified
+observability model — see README "Observability"):
+
+========================  =====================================================
+kind                      emitted by
+========================  =====================================================
+``dispatch``              kernel core, a task starts running on a CPU
+``idle``                  kernel core, a CPU goes idle
+``wakeup``                kernel core, try-to-wake-up placed a task
+``fork``                  kernel core, a new task was placed
+``preempt``               kernel core, the current task lost its CPU
+``migrate``               kernel core, a queued task moved between run queues
+``migrate_failed``        kernel core, a requested migration was rejected
+``timer_fire``            timer service, an armed timer fired
+``enoki_msg``             Enoki-C, one message dispatched into the scheduler
+``lock_acquire/release``  libEnoki spin-lock wrappers (record/replay stream)
+``rwlock_*``              the per-scheduler read-write lock (quiesce protocol)
+``upgrade``               upgrade manager, one quiesce phase of a live upgrade
+``hint_enqueue``          Enoki-C, a userspace hint entered the ring
+``hint_drop``             Enoki-C, a hint was dropped on ring overflow
+``hint_dequeue``          Enoki-C, a task drained the reverse ring
+========================  =====================================================
+
+Anything not in the table is legal too — the tracer stores unknown kinds
+verbatim, so layers can add events without touching this module.
+
 Usage::
 
     tracer = SchedTracer.attach(kernel, capacity=100_000)
@@ -15,38 +41,70 @@ Usage::
 """
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One scheduling event."""
+    """One scheduling event.
+
+    ``args`` carries kind-specific payload as a sorted tuple of
+    ``(key, value)`` pairs — tuple rather than dict so events stay
+    hashable and cheap to construct on the hot path.
+    """
 
     t_ns: int
-    kind: str                # "dispatch" | "idle" | custom
+    kind: str                # see the taxonomy table in the module docstring
     cpu: int
     pid: Optional[int] = None
     cost_ns: int = 0
+    args: tuple = field(default=())
+
+    def arg(self, key, default=None):
+        """Look up one kind-specific payload field."""
+        for name, value in self.args:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self):
+        """Plain-data form (used by the exporters)."""
+        out = {"t_ns": self.t_ns, "kind": self.kind, "cpu": self.cpu}
+        if self.pid is not None:
+            out["pid"] = self.pid
+        if self.cost_ns:
+            out["cost_ns"] = self.cost_ns
+        out.update(self.args)
+        return out
 
     def __str__(self):
         pid = f" pid={self.pid}" if self.pid is not None else ""
-        return f"[{self.t_ns / 1e6:10.3f} ms] cpu{self.cpu} {self.kind}{pid}"
+        extra = "".join(f" {k}={v}" for k, v in self.args)
+        return (f"[{self.t_ns / 1e6:10.3f} ms] cpu{self.cpu} "
+                f"{self.kind}{pid}{extra}")
 
 
 class SchedTracer:
-    """Bounded in-memory trace of kernel dispatch/idle events."""
+    """Bounded in-memory trace of typed kernel/framework events.
 
-    def __init__(self, capacity=100_000):
+    ``kinds`` optionally restricts retention to a set of event kinds —
+    everything else is counted in ``filtered`` but not stored, which keeps
+    long traces of one subsystem cheap.
+    """
+
+    def __init__(self, capacity=100_000, kinds=None):
         self.capacity = capacity
         self.events = deque(maxlen=capacity)
         self.dropped = 0
+        self.filtered = 0
+        self.kinds = frozenset(kinds) if kinds is not None else None
         self._kernel = None
 
     @classmethod
-    def attach(cls, kernel, capacity=100_000):
+    def attach(cls, kernel, capacity=100_000, kinds=None):
         """Install on a kernel (replaces any existing trace hook)."""
-        tracer = cls(capacity)
+        tracer = cls(capacity, kinds=kinds)
         tracer._kernel = kernel
         kernel.trace = tracer._hook
         return tracer
@@ -57,14 +115,22 @@ class SchedTracer:
         self._kernel = None
 
     def _hook(self, kind, **fields):
+        if self.kinds is not None and kind not in self.kinds:
+            self.filtered += 1
+            return
         if len(self.events) == self.capacity:
             self.dropped += 1
+        t_ns = fields.pop("t", 0)
+        cpu = fields.pop("cpu", -1)
+        pid = fields.pop("pid", None)
+        cost = fields.pop("cost", 0)
         self.events.append(TraceEvent(
-            t_ns=fields.get("t", 0),
+            t_ns=t_ns,
             kind=kind,
-            cpu=fields.get("cpu", -1),
-            pid=fields.get("pid"),
-            cost_ns=fields.get("cost", 0),
+            cpu=cpu,
+            pid=pid,
+            cost_ns=cost,
+            args=tuple(sorted(fields.items())) if fields else (),
         ))
 
     # -- queries ---------------------------------------------------------
@@ -75,6 +141,10 @@ class SchedTracer:
     def events_for_pid(self, pid):
         return [e for e in self.events if e.pid == pid]
 
+    def events_of_kind(self, *kinds):
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
     def dispatches(self):
         return [e for e in self.events if e.kind == "dispatch"]
 
@@ -83,10 +153,19 @@ class SchedTracer:
 
         ``None`` pid means idle.  The last interval is open-ended at the
         final observed event.
+
+        When the ring buffer has wrapped (``dropped > 0``) the state of the
+        CPU before the first retained event is unknown, so reconstruction
+        starts at the first retained event's timestamp instead of silently
+        attributing the lost prefix to ``start_ns``.
         """
         spans = []
         current_pid = None
         current_start = start_ns
+        if self.dropped and self.events:
+            # Ring wrapped: everything before the oldest retained event is
+            # gone, and so is the identity of whatever ran then.
+            current_start = max(current_start, self.events[0].t_ns)
         for event in self.events:
             if event.cpu != cpu or event.t_ns < start_ns:
                 continue
