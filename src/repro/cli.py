@@ -195,6 +195,102 @@ def cmd_stats(args):
     return 0
 
 
+def _chaos_run(plan, rounds, hogs):
+    """Run the pipe workload under one fault plan; returns an outcome dict.
+
+    The harness is the full containment stack: injector on the shim,
+    containment boundary with CFS as the fallback class, and a watchdog
+    escalating ``lost_task`` findings into failover — the only way tasks a
+    buggy module silently dropped (e.g. via a corrupted token's pnt_err)
+    ever get rescued.
+    """
+    from repro.core import SchedulerWatchdog, UpgradeManager
+    from repro.simkernel.clock import usecs
+    from repro.simkernel.program import Run, SendHint, Sleep
+    from repro.simkernel.task import TaskState
+    from repro.workloads.pipe_bench import run_pipe_benchmark
+
+    kernel, policy = _wfq_kernel()
+    shim = next(c for _p, c in kernel._classes if c.policy == policy)
+    injector = shim.install_faults(plan)
+    shim.configure_containment(fallback_policy=0)
+    watchdog = SchedulerWatchdog(
+        kernel, policy, period_ns=usecs(200), lost_task_ns=usecs(5_000),
+        escalate=shim.containment, escalate_kinds=("lost_task",))
+
+    upgrades = None
+    if any(spec.callback == "reregister_init" for spec in plan.specs):
+        upgrades = UpgradeManager(kernel, shim)
+        nr = kernel.topology.nr_cpus
+        upgrades.schedule_upgrade(lambda: EnokiWfq(nr, policy),
+                                  at_ns=usecs(800))
+
+    def hog():
+        # Bursts longer than the 1 ms tick period so task_tick traffic
+        # exists for the tick-targeting plans to hit.
+        for i in range(20):
+            yield Run(usecs(1_200))
+            if i % 5 == 0:
+                yield SendHint({"tid": None, "seq": i}, policy=policy)
+            yield Sleep(usecs(200))
+
+    for i in range(hogs):
+        kernel.spawn(hog, name=f"hog-{i}", policy=policy,
+                     allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
+    result = run_pipe_benchmark(kernel, policy, rounds=rounds)
+    watchdog.stop()
+
+    lost = [pid for pid, task in kernel.tasks.items()
+            if task.state is not TaskState.DEAD]
+    boundary = shim.containment
+    report = boundary.failover_report
+    return {
+        "fired": sum(injector.summary().values()),
+        "panics": len(boundary.panics),
+        "strikes": boundary.strikes,
+        "bad_responses": boundary.bad_responses,
+        "failover": (f"-> policy {report.to_policy} "
+                     f"({report.transferred} tasks)" if report else "no"),
+        "findings": len(watchdog.report.findings),
+        "upgrade": ("aborted" if upgrades and upgrades.reports
+                    and upgrades.reports[0].aborted else
+                    "ok" if upgrades and upgrades.reports else "-"),
+        "lost": len(lost),
+        "latency_us": result.latency_us_per_message,
+    }
+
+
+def cmd_chaos(args):
+    from repro.core import FaultPlan
+
+    if args.list:
+        print("built-in fault plans:")
+        for name in FaultPlan.builtin_names():
+            print(f"  {name:16s} {FaultPlan.builtin(name).description}")
+        return 0
+    names = (FaultPlan.builtin_names() if args.plan == "all"
+             else [args.plan])
+    rows, lost_total = [], 0
+    for name in names:
+        plan = FaultPlan.builtin(name).with_seed(args.seed)
+        outcome = _chaos_run(plan, rounds=args.rounds, hogs=args.hogs)
+        lost_total += outcome["lost"]
+        rows.append([name, outcome["fired"], outcome["panics"],
+                     outcome["failover"], outcome["findings"],
+                     outcome["upgrade"], outcome["lost"],
+                     f"{outcome['latency_us']:.2f}"])
+    print(render_table(
+        f"chaos: sched-pipe + {args.hogs} hogs under fault injection "
+        f"(seed {args.seed})",
+        ["plan", "fired", "panics", "failover", "findings", "upgrade",
+         "lost", "us/msg"], rows))
+    if lost_total:
+        print(f"FAIL: {lost_total} task(s) lost")
+        return 1
+    print("all plans contained: every task completed")
+    return 0
+
+
 EXPERIMENTS = {
     "pipe": (cmd_pipe, "Table 3 quick run: sched-pipe CFS vs Enoki WFQ"),
     "schbench": (cmd_schbench, "Table 4 quick run: schbench latencies"),
@@ -205,6 +301,8 @@ EXPERIMENTS = {
                          "(chrome/ftrace)"),
     "stats": (cmd_stats, "metrics registry + per-callback latency "
                          "percentiles"),
+    "chaos": (cmd_chaos, "deterministic fault injection: run built-in "
+                         "fault plans under containment"),
 }
 
 
@@ -245,6 +343,15 @@ def main(argv=None):
     p.add_argument("--rounds", type=int, default=500)
     p.add_argument("--hogs", type=int, default=12)
     p.add_argument("--capacity", type=int, default=500_000)
+
+    p = sub.add_parser("chaos", help=EXPERIMENTS["chaos"][1])
+    p.add_argument("--plan", default="all",
+                   help="built-in plan name, or 'all' (default)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rounds", type=int, default=600)
+    p.add_argument("--hogs", type=int, default=6)
+    p.add_argument("--list", action="store_true",
+                   help="list built-in fault plans and exit")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -15,16 +15,35 @@ The layering mirrors the paper's Figure 1:
 
 Plus the framework services: :mod:`~repro.core.upgrade` (live upgrade),
 :mod:`~repro.core.hints` (bidirectional user/kernel queues),
-:mod:`~repro.core.record` and :mod:`~repro.core.replay`.
+:mod:`~repro.core.record` and :mod:`~repro.core.replay`, and the
+robustness layer: :mod:`~repro.core.failover` (fault containment and
+scheduler failover) with :mod:`~repro.core.faults` (deterministic fault
+injection).
 """
 
 from repro.core.enoki_c import EnokiSchedClass
 from repro.core.errors import (
     EnokiError,
+    FailoverError,
+    FaultError,
+    InjectedFault,
     QueueError,
     ReplayMismatch,
     TokenError,
     UpgradeError,
+)
+from repro.core.failover import (
+    ContainmentBoundary,
+    ContainmentPolicy,
+    FailoverManager,
+    FailoverReport,
+    PanicRecord,
+)
+from repro.core.faults import (
+    BUILTIN_PLANS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
 )
 from repro.core.hints import RevMessage, RingBuffer, UserMessage
 from repro.core.record import Recorder
@@ -35,9 +54,21 @@ from repro.core.upgrade import UpgradeManager, UpgradeReport
 from repro.core.watchdog import SchedulerWatchdog, WatchdogReport
 
 __all__ = [
+    "BUILTIN_PLANS",
+    "ContainmentBoundary",
+    "ContainmentPolicy",
     "EnokiError",
     "EnokiSchedClass",
     "EnokiScheduler",
+    "FailoverError",
+    "FailoverManager",
+    "FailoverReport",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "PanicRecord",
     "QueueError",
     "Recorder",
     "ReplayEngine",

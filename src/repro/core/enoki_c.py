@@ -19,6 +19,9 @@ paper assigns to Enoki-C (section 3):
 import time
 
 from repro.core import messages as msgs
+from repro.core.errors import FaultError
+from repro.core.failover import ContainmentBoundary
+from repro.core.faults import FaultInjector
 from repro.core.hints import QueueRegistry, RevMessage, RingBuffer, UserMessage
 from repro.core.libenoki import LibEnoki
 from repro.core.schedulable import TokenRegistry
@@ -46,6 +49,14 @@ class EnokiSchedClass(SchedClass):
         #: optional :class:`~repro.obs.profiler.CallbackProfiler`; when
         #: None (the default) dispatch takes the unprofiled fast path
         self.profiler = None
+        #: set by a failover: every dispatch becomes a no-op and the
+        #: fallback class (via the kernel's policy redirect) takes over
+        self.failed = False
+        #: the fault-containment boundary wrapping every dispatch; set to
+        #: None to restore raw (crash-on-bug) dispatch semantics
+        self.containment = ContainmentBoundary(self)
+        #: optional :class:`~repro.core.faults.FaultInjector`
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # registration convenience
@@ -62,6 +73,35 @@ class EnokiSchedClass(SchedClass):
     @property
     def scheduler(self):
         return self.lib.scheduler
+
+    # ------------------------------------------------------------------
+    # fault containment / injection configuration
+    # ------------------------------------------------------------------
+
+    def install_faults(self, plan):
+        """Install a :class:`~repro.core.faults.FaultInjector` running
+        ``plan``.  Returns the injector (its ``fired`` log and ``summary``
+        report what actually happened)."""
+        if self.recorder is not None and self.recorder.active:
+            raise FaultError(
+                "cannot inject faults while the recorder is active"
+            )
+        injector = (plan if isinstance(plan, FaultInjector)
+                    else FaultInjector(plan))
+        self.fault_injector = injector
+        return injector
+
+    def configure_containment(self, **overrides):
+        """Adjust containment knobs (``strike_threshold``,
+        ``fallback_policy``, ``callback_budget_ns``, ...)."""
+        if self.containment is None:
+            self.containment = ContainmentBoundary(self)
+        policy = self.containment.policy
+        for key, value in overrides.items():
+            if not hasattr(policy, key):
+                raise FaultError(f"unknown containment knob {key!r}")
+            setattr(policy, key, value)
+        return self.containment
 
     # ------------------------------------------------------------------
     # cost model
@@ -111,15 +151,39 @@ class EnokiSchedClass(SchedClass):
     # ------------------------------------------------------------------
 
     def _dispatch(self, message, extra=None):
+        if self.failed:
+            # The scheduler was failed over; its dispatches are no-ops
+            # (the fallback class owns its tasks via the policy redirect).
+            return None
         thread = self._current_thread()
         kernel = self.kernel
         trace = kernel.trace if kernel is not None else None
         profiler = self.profiler
+        boundary = self.containment
         if trace is None and profiler is None:
             # Null-hook fast path: observability off, zero extra work.
-            return self.lib.dispatch(message, thread=thread, extra=extra)
+            if boundary is None:
+                return self.lib.dispatch(message, thread=thread,
+                                         extra=extra)
+            try:
+                response = self.lib.dispatch(message, thread=thread,
+                                             extra=extra)
+            except Exception as exc:
+                return boundary.contain(exc, message)
+            boundary.after_dispatch(message)
+            return response
         wall_start = time.perf_counter_ns()
-        response = self.lib.dispatch(message, thread=thread, extra=extra)
+        if boundary is None:
+            response = self.lib.dispatch(message, thread=thread,
+                                         extra=extra)
+        else:
+            try:
+                response = self.lib.dispatch(message, thread=thread,
+                                             extra=extra)
+            except Exception as exc:
+                response = boundary.contain(exc, message)
+            else:
+                boundary.after_dispatch(message)
         wall_ns = time.perf_counter_ns() - wall_start
         hook = message.FUNCTION
         virtual_ns = self._hook_virtual_cost_ns(hook)
@@ -130,6 +194,10 @@ class EnokiSchedClass(SchedClass):
         if profiler is not None:
             profiler.note(hook, virtual_ns=virtual_ns, wall_ns=wall_ns,
                           policy=self.policy)
+        if (boundary is not None
+                and boundary.policy.wall_budget_ns is not None
+                and wall_ns > boundary.policy.wall_budget_ns):
+            boundary.note_overrun(hook, wall_ns, message=message)
         return response
 
     def _current_thread(self):
@@ -170,6 +238,11 @@ class EnokiSchedClass(SchedClass):
         nr = self.kernel.topology.nr_cpus
         if isinstance(cpu, int) and 0 <= cpu < nr and task.can_run_on(cpu):
             return cpu
+        if self.containment is not None:
+            self.containment.note_bad_response(
+                "select_task_rq",
+                f"placed pid {task.pid} on invalid cpu {cpu!r}",
+            )
         if task.can_run_on(prev_cpu) and 0 <= prev_cpu < nr:
             return prev_cpu
         for candidate in self.kernel.topology.all_cpus():
@@ -280,6 +353,8 @@ class EnokiSchedClass(SchedClass):
     # ------------------------------------------------------------------
 
     def pick_next_task(self, cpu):
+        if self.failed:
+            return None
         self._with_thread(cpu)
         rq = self.kernel.rqs[cpu]
         mine = {
@@ -305,6 +380,11 @@ class EnokiSchedClass(SchedClass):
             # the CPU to the next class — never crash (section 3.1).
             self.kernel.stats.pick_errors += 1
             pid = token.pid if hasattr(token, "pid") else -1
+            if self.containment is not None:
+                self.containment.note_bad_response(
+                    "pick_next_task",
+                    f"invalid/stale token for pid {pid} on cpu {cpu}",
+                )
             self._dispatch(msgs.MsgPntErr(
                 cpu=cpu, pid=pid, err=1, sched=token,
             ))
@@ -315,12 +395,19 @@ class EnokiSchedClass(SchedClass):
         return token.pid
 
     def balance(self, cpu):
+        if self.failed:
+            return None
         self._with_thread(cpu)
         pid = self._dispatch(msgs.MsgBalance(cpu=cpu))
         if pid is None:
             return None
         task = self.kernel.tasks.get(pid)
         if task is None or task.policy != self.policy:
+            if self.containment is not None:
+                self.containment.note_bad_response(
+                    "balance",
+                    f"answered foreign/unknown pid {pid!r} on cpu {cpu}",
+                )
             self._dispatch(msgs.MsgBalanceErr(
                 cpu=cpu, pid=pid if isinstance(pid, int) else -1,
                 err=2, sched=None,
@@ -396,7 +483,8 @@ class EnokiSchedClass(SchedClass):
             if ring.name == f"user-{tgid}":
                 return queue_id
         ring = RingBuffer(self.kernel.config.ring_buffer_capacity,
-                          name=f"user-{tgid}")
+                          name=f"user-{tgid}",
+                          policy=self.kernel.config.ring_overflow_policy)
         queue_id = self._dispatch(msgs.MsgRegisterQueue(queue_id=0),
                                   extra=ring)
         self.queues.add_user_queue(queue_id, ring)
@@ -408,7 +496,8 @@ class EnokiSchedClass(SchedClass):
         if existing is not None:
             return existing
         ring = RingBuffer(self.kernel.config.ring_buffer_capacity,
-                          name=f"rev-{tgid}")
+                          name=f"rev-{tgid}",
+                          policy=self.kernel.config.ring_overflow_policy)
         queue_id = self._dispatch(
             msgs.MsgRegisterReverseQueue(queue_id=0), extra=ring,
         )
@@ -417,9 +506,32 @@ class EnokiSchedClass(SchedClass):
 
     def send_hint(self, task, payload):
         """Kernel hint-handler hook: a task executed a SendHint op."""
+        if self.failed:
+            # The failed-over scheduler will never drain its rings.
+            return False
+        injector = self.fault_injector
+        if injector is not None:
+            disposition = injector.hint_disposition()
+            if disposition == "drop":
+                self.kernel.stats.hint_drops += 1
+                if self.kernel.trace is not None:
+                    self.kernel.trace("hint_drop", t=self.kernel.now,
+                                      cpu=task.cpu, pid=task.pid,
+                                      queue=-1, reason="fault")
+                return False
+            if disposition == "hold":
+                injector.hold_hint(task.pid, task.cpu, task.tgid, payload)
+                return True
         queue_id = self.ensure_user_queue(task.tgid)
         ring = self.queues.user_queues[queue_id]
+        if injector is not None:
+            # Delayed hints ride ahead of the next push, preserving order
+            # within the held batch.
+            for held in injector.take_held_hints():
+                if not ring.push(UserMessage(held.pid, held.payload)):
+                    self.kernel.stats.hint_drops += 1
         if not ring.push(UserMessage(task.pid, payload)):
+            self.kernel.stats.hint_drops += 1
             if self.kernel.trace is not None:
                 self.kernel.trace("hint_drop", t=self.kernel.now,
                                   cpu=task.cpu, pid=task.pid,

@@ -22,6 +22,25 @@ class QueueError(EnokiError):
     """Hint queue misuse (bad id, double registration, ...)."""
 
 
+class FaultError(EnokiError):
+    """A fault plan or injector was misconfigured (unknown kind, bad
+    target callback, ...)."""
+
+
+class InjectedFault(EnokiError):
+    """A deliberately injected scheduler fault (see :mod:`repro.core.faults`).
+
+    Raised *inside* the dispatch boundary so it is indistinguishable from
+    a genuine scheduler bug to the containment machinery — which is the
+    point: chaos runs prove the boundary holds for real crashes too.
+    """
+
+
+class FailoverError(EnokiError):
+    """Scheduler failover could not be performed (no fallback class
+    registered, or the quiesce protocol was violated)."""
+
+
 class ReplayMismatch(EnokiError):
     """A replayed scheduler returned a different response than recorded."""
 

@@ -34,22 +34,41 @@ class RevMessage:
     payload: Any
 
 
-class RingBuffer:
-    """A bounded FIFO that drops on overflow (and counts the drops).
+#: overflow policy: reject the incoming entry (the paper's semantics)
+DROP_NEW = "drop-new"
+#: overflow policy: evict the oldest entry to make room (lossy tail-keep)
+OVERWRITE_OLDEST = "overwrite-oldest"
 
-    Matches the paper's overrun semantics: "If the buffer overruns, events
-    may be dropped."
+_OVERFLOW_POLICIES = (DROP_NEW, OVERWRITE_OLDEST)
+
+
+class RingBuffer:
+    """A bounded FIFO with an explicit overflow policy.
+
+    ``drop-new`` matches the paper's overrun semantics ("If the buffer
+    overruns, events may be dropped"): a push into a full ring is rejected.
+    ``overwrite-oldest`` keeps the freshest entries instead, evicting the
+    oldest — useful for hint streams where the latest hint supersedes the
+    rest.  Either way every lost entry is counted in ``dropped`` so
+    backpressure is observable.
     """
 
-    def __init__(self, capacity, name=None):
+    def __init__(self, capacity, name=None, policy=DROP_NEW):
         if capacity <= 0:
             raise QueueError(f"ring buffer capacity must be positive: "
                              f"{capacity}")
+        if policy not in _OVERFLOW_POLICIES:
+            raise QueueError(
+                f"unknown ring overflow policy {policy!r} "
+                f"(expected one of {_OVERFLOW_POLICIES})"
+            )
         self.capacity = capacity
         self.name = name or "ring"
+        self.policy = policy
         self._entries = deque()
         self.pushed = 0
         self.dropped = 0
+        self.overwritten = 0
 
     def __len__(self):
         return len(self._entries)
@@ -59,8 +78,21 @@ class RingBuffer:
         return len(self._entries) >= self.capacity
 
     def push(self, entry):
-        """Append an entry; returns False (and counts a drop) when full."""
+        """Append an entry.
+
+        Under ``drop-new`` a push into a full ring returns False and counts
+        a drop.  Under ``overwrite-oldest`` the oldest entry is evicted
+        (counted in both ``dropped`` and ``overwritten``) and the push
+        succeeds.
+        """
         if self.full:
+            if self.policy == OVERWRITE_OLDEST:
+                self._entries.popleft()
+                self.dropped += 1
+                self.overwritten += 1
+                self._entries.append(entry)
+                self.pushed += 1
+                return True
             self.dropped += 1
             return False
         self._entries.append(entry)

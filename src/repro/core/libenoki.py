@@ -166,7 +166,13 @@ class LibEnoki:
         previous_thread = self.env.current_thread
         self.env.current_thread = thread
         try:
+            injector = self._injector()
+            if injector is not None:
+                injector.on_dispatch(message.FUNCTION)
             response = self._invoke(message, extra)
+            if injector is not None:
+                response = injector.filter_response(message.FUNCTION,
+                                                    response)
         finally:
             self.env.current_thread = previous_thread
             self.rwlock.release_read()
@@ -186,12 +192,22 @@ class LibEnoki:
         previous_thread = self.env.current_thread
         self.env.current_thread = thread
         try:
+            # Upgrade-path faults (fail reregister_init) fire here, inside
+            # the quiesced region — exactly where a real init bug would.
+            injector = self._injector()
+            if injector is not None:
+                injector.on_dispatch(message.FUNCTION)
             response = self._invoke(message, extra)
         finally:
             self.env.current_thread = previous_thread
         if self.recorder is not None:
             self.recorder.note_call(message, response, thread)
         return response
+
+    def _injector(self):
+        """The hosting shim's fault injector, when one is installed."""
+        shim = self.env._enoki_c
+        return None if shim is None else shim.fault_injector
 
     def _invoke(self, message, extra):
         sched = self.scheduler

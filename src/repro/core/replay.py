@@ -260,8 +260,13 @@ class ReplayEngine:
             # saw it; the following enter_queue call drains it.
             from repro.core.hints import UserMessage
 
-            self._ring(entry["queue_id"]).push(
-                UserMessage(entry["pid"], entry["payload"]))
+            if not self._ring(entry["queue_id"]).push(
+                    UserMessage(entry["pid"], entry["payload"])):
+                raise ReplayMismatch(
+                    f"replay ring {entry['queue_id']} overflowed refilling "
+                    f"hint for pid {entry['pid']}: the recorded run cannot "
+                    "have dropped this entry"
+                )
             return
         message = Message.from_record(entry["msg"], self._mint)
         thread = entry["thread"]

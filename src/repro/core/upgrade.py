@@ -36,6 +36,9 @@ class UpgradeReport:
     transferred_tasks: int
     old_scheduler: str
     new_scheduler: str
+    #: the new module's init failed; the old module kept running
+    aborted: bool = False
+    error: str = ""
 
     @property
     def pause_us(self):
@@ -75,31 +78,61 @@ class UpgradeManager:
             )
         self._trace_phase("quiesce", old=type(old_scheduler).__name__,
                           new=type(new_scheduler).__name__)
+        abort_error = None
         try:
             # 2. Export state from the old version.
             state = old_lib.dispatch_locked(msgs.MsgReregisterPrepare())
             self._check_state_type(old_scheduler, state)
             self._trace_phase("prepare", has_state=state is not None)
 
-            # 3. Build the new module and import the state.  The token
-            # registry and hint rings live in Enoki-C and survive the swap,
-            # which is how Schedulables inside the transferred state stay
-            # valid and how hint queues are "passed as part of the shared
-            # state" (section 3.3).
-            new_lib = LibEnoki(new_scheduler, enoki_c=shim,
-                               recorder=shim.recorder)
-            new_lib.rwlock = old_lib.rwlock   # same quiesce domain
-            new_lib.dispatch_locked(
-                msgs.MsgReregisterInit(has_state=state is not None),
-                extra=state,
-            )
-            self._trace_phase("init")
+            try:
+                # 3. Build the new module and import the state.  The token
+                # registry and hint rings live in Enoki-C and survive the
+                # swap, which is how Schedulables inside the transferred
+                # state stay valid and how hint queues are "passed as part
+                # of the shared state" (section 3.3).
+                new_lib = LibEnoki(new_scheduler, enoki_c=shim,
+                                   recorder=shim.recorder)
+                new_lib.rwlock = old_lib.rwlock   # same quiesce domain
+                new_lib.dispatch_locked(
+                    msgs.MsgReregisterInit(has_state=state is not None),
+                    extra=state,
+                )
+                self._trace_phase("init")
 
-            # 4. Swap the dispatch pointer.
-            shim.lib = new_lib
-            self._trace_phase("swap")
+                # 4. Swap the dispatch pointer.
+                shim.lib = new_lib
+                self._trace_phase("swap")
+            except Exception as exc:
+                # The incoming module failed to initialise.  Re-init the
+                # old module with the state it exported and leave the
+                # dispatch pointer unswapped: the upgrade aborts, the
+                # machine keeps its working scheduler.
+                abort_error = exc
+                old_lib.dispatch_locked(
+                    msgs.MsgReregisterInit(has_state=state is not None),
+                    extra=state,
+                )
+                self._trace_phase("abort", error=type(exc).__name__)
         finally:
             old_lib.rwlock.release_write()
+
+        if abort_error is not None:
+            pause_ns = self._pause_model(0)
+            shim.note_upgrade_blackout(pause_ns)
+            report = UpgradeReport(
+                requested_at_ns=kernel.now,
+                completed_at_ns=kernel.now + pause_ns,
+                pause_ns=pause_ns,
+                transferred_state=False,
+                transferred_tasks=0,
+                old_scheduler=type(old_scheduler).__name__,
+                new_scheduler=type(new_scheduler).__name__,
+                aborted=True,
+                error=f"{type(abort_error).__name__}: {abort_error}",
+            )
+            self.reports.append(report)
+            return report
 
         transferred_tasks = len(shim.tokens.live_pids())
         pause_ns = self._pause_model(transferred_tasks)

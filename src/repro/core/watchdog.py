@@ -58,7 +58,9 @@ class SchedulerWatchdog:
 
     def __init__(self, kernel, policy, period_ns=1_000_000,
                  lost_task_ns=50_000_000, starvation_ns=20_000_000,
-                 idle_grace_ns=100_000, strict=False):
+                 idle_grace_ns=100_000, strict=False, escalate=None,
+                 escalate_kinds=("lost_task", "starvation",
+                                 "work_conservation")):
         self.kernel = kernel
         self.policy = policy
         self.period_ns = period_ns
@@ -66,6 +68,13 @@ class SchedulerWatchdog:
         self.starvation_ns = starvation_ns
         self.idle_grace_ns = idle_grace_ns
         self.strict = strict
+        #: a ContainmentBoundary (or any callable taking the finding):
+        #: findings of the listed kinds trigger scheduler failover, which
+        #: is how tasks a buggy module *silently dropped* get rescued —
+        #: no exception ever crossed the dispatch boundary, only the
+        #: watchdog can see them.
+        self.escalate = escalate
+        self.escalate_kinds = frozenset(escalate_kinds)
         self.report = WatchdogReport()
         self._flagged = set()       # (kind, pid/cpu) de-duplication
         self._idle_with_work_since = {}
@@ -84,6 +93,17 @@ class SchedulerWatchdog:
             return
         self._flagged.add(key)
         self.report.findings.append(finding)
+        kernel = self.kernel
+        if kernel.trace is not None:
+            kernel.trace("watchdog_finding", t=finding.at_ns,
+                         cpu=finding.cpu, pid=finding.pid,
+                         finding=finding.kind, policy=self.policy)
+        if self.escalate is not None and finding.kind in self.escalate_kinds:
+            engage = getattr(self.escalate, "engage_failover", None)
+            if engage is not None:
+                engage(reason=f"watchdog:{finding.kind}")
+            else:
+                self.escalate(finding)
         if self.strict:
             raise SchedulingError(
                 f"watchdog[{finding.kind}] pid={finding.pid} "

@@ -93,6 +93,15 @@ class Observer(SchedTracer):
         elif kind == "enoki_msg":
             registry.histogram("enoki.msg_wall_ns").record(
                 fields.get("wall_ns", 0))
+        elif kind == "enoki_panic":
+            registry.counter("containment.panics").inc()
+            registry.counter(
+                "containment.panic." + fields.get("hook", "?")).inc()
+        elif kind == "failover":
+            registry.counter("containment.failovers").inc()
+        elif kind == "watchdog_finding":
+            registry.counter(
+                "watchdog." + fields.get("finding", "?")).inc()
 
     def _rwlock_hook(self, op, name):
         kernel = self._kernel
@@ -118,6 +127,10 @@ class Observer(SchedTracer):
         registry.gauge("kernel.pick_errors").set(stats.pick_errors)
         registry.gauge("kernel.sched_invocations").set(
             stats.sched_invocations)
+        registry.gauge("kernel.hint_drops").set(stats.hint_drops)
+        registry.gauge("kernel.contained_panics").set(
+            stats.contained_panics)
+        registry.gauge("kernel.failovers").set(stats.failovers)
         registry.gauge("kernel.busy_ns_total").set(stats.busy_ns_total())
         registry.gauge("kernel.now_ns").set(kernel.now)
         for cpu_stats in stats.cpus:

@@ -50,6 +50,7 @@ class Kernel:
         self._next_pid = 1
         self._classes = []            # (priority, SchedClass), high prio first
         self._class_by_policy = {}
+        self._policy_redirects = {}   # failed policy -> fallback policy
         self._limbo = set()           # pids awaiting deferred placement
         self._tick_timers = [None] * self.topology.nr_cpus
         self._hint_handlers = {}      # policy -> handler object
@@ -92,8 +93,28 @@ class Kernel:
         cls.detach_kernel()
         return cls
 
+    def redirect_policy(self, policy, to_policy):
+        """Route ``class_of`` lookups for ``policy`` to another class.
+
+        Scheduler failover uses this: tasks keep their policy number (so
+        hint routing and watchdogs stay wired) but are serviced by the
+        fallback class from now on.
+        """
+        if to_policy not in self._class_by_policy:
+            raise SchedulingError(
+                f"cannot redirect policy {policy} to unregistered "
+                f"policy {to_policy}"
+            )
+        # Collapse chains so lookups stay one hop.
+        resolved = self._policy_redirects.get(to_policy, to_policy)
+        self._policy_redirects[policy] = resolved
+        for src, dst in list(self._policy_redirects.items()):
+            if dst == policy:
+                self._policy_redirects[src] = resolved
+
     def class_of(self, task):
-        cls = self._class_by_policy.get(task.policy)
+        policy = self._policy_redirects.get(task.policy, task.policy)
+        cls = self._class_by_policy.get(policy)
         if cls is None:
             raise SchedulingError(
                 f"pid {task.pid} uses unregistered policy {task.policy}"

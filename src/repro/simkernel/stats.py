@@ -41,6 +41,9 @@ class KernelStats:
         self.failed_migrations = 0
         self.pick_errors = 0
         self.sched_invocations = 0
+        self.hint_drops = 0
+        self.contained_panics = 0
+        self.failovers = 0
 
     def busy_ns_for_tgid(self, tgid):
         """Total CPU time consumed machine-wide by a thread group."""

@@ -1,0 +1,346 @@
+"""Fault containment, scheduler failover, and deterministic injection.
+
+The contract under test: with containment on, a fallback class
+registered, and a watchdog escalating lost-task findings, *every*
+built-in fault plan completes with no unhandled exception and zero lost
+tasks — and with no faults injected, containment is invisible
+(bit-identical traces).
+"""
+
+import pytest
+
+from repro.core import (
+    BUILTIN_PLANS,
+    EnokiSchedClass,
+    FaultPlan,
+    FaultSpec,
+    SchedulerWatchdog,
+    UpgradeManager,
+)
+from repro.core.errors import (
+    FaultError,
+    InjectedFault,
+    QueueError,
+)
+from repro.core.hints import OVERWRITE_OLDEST, RingBuffer
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.wfq import EnokiWfq
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.simkernel.program import Run, SendHint, Sleep
+from repro.simkernel.task import TaskState
+from repro.simkernel.tracing import SchedTracer
+
+POLICY = 7
+
+
+def make(nr_cpus=4, fallback=True):
+    kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+    if fallback:
+        kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+    sched = EnokiWfq(nr_cpus, POLICY)
+    shim = EnokiSchedClass.register(kernel, sched, POLICY, priority=10)
+    return kernel, shim, sched
+
+
+def hog(hints=False, phases=15):
+    def prog():
+        # Bursts longer than the 1 ms tick so task_tick traffic exists.
+        for i in range(phases):
+            yield Run(1_200_000)
+            if hints and i % 5 == 0:
+                yield SendHint({"seq": i}, policy=POLICY)
+            yield Sleep(200_000)
+    return prog
+
+
+def run_plan(plan, nr_cpus=4, tasks=8, hints=True):
+    """The chaos harness: injector + containment + escalating watchdog."""
+    kernel, shim, sched = make(nr_cpus)
+    injector = shim.install_faults(plan)
+    shim.configure_containment(fallback_policy=0)
+    watchdog = SchedulerWatchdog(
+        kernel, POLICY, period_ns=200_000, lost_task_ns=5_000_000,
+        escalate=shim.containment, escalate_kinds=("lost_task",))
+    upgrades = None
+    if any(spec.callback == "reregister_init" for spec in plan.specs):
+        upgrades = UpgradeManager(kernel, shim)
+        upgrades.schedule_upgrade(lambda: EnokiWfq(nr_cpus, POLICY),
+                                  at_ns=800_000)
+    spawned = [
+        kernel.spawn(hog(hints=hints), name=f"hog-{i}", policy=POLICY,
+                     origin_cpu=i % nr_cpus)
+        for i in range(tasks)
+    ]
+    kernel.run_until_idle()
+    watchdog.stop()
+    return kernel, shim, injector, watchdog, spawned, upgrades
+
+
+class TestFaultSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind="explode").validate()
+
+    def test_dispatch_fault_needs_callback(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind="raise").validate()
+
+    def test_hang_needs_duration(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind="hang", callback="task_tick").validate()
+
+    def test_window_bounds(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind="drop_hint", at=0).validate()
+        spec = FaultSpec(kind="drop_hint", at=3, count=2)
+        assert not spec.in_window(2)
+        assert spec.in_window(3)
+        assert spec.in_window(4)
+        assert not spec.in_window(5)
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind="drop_hint", probability=0.0).validate()
+        with pytest.raises(FaultError):
+            FaultSpec(kind="drop_hint", probability=1.5).validate()
+
+    def test_plan_roundtrip(self):
+        plan = FaultPlan.builtin("rampage").with_seed(42)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+
+    def test_unknown_builtin(self):
+        with pytest.raises(FaultError):
+            FaultPlan.builtin("no-such-plan")
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(name="empty", specs=()).validate()
+
+
+class TestChaosSuite:
+    """Every built-in plan must be survivable: zero lost tasks."""
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_PLANS))
+    def test_builtin_plan_contained_without_task_loss(self, name):
+        plan = FaultPlan.builtin(name).with_seed(0)
+        kernel, shim, injector, watchdog, spawned, upgrades = run_plan(plan)
+        assert injector.fired, f"plan {name} never fired under the harness"
+        assert all(t.state is TaskState.DEAD for t in spawned)
+        assert all(t.state is TaskState.DEAD
+                   for t in kernel.tasks.values())
+        if upgrades is not None:
+            assert upgrades.reports and upgrades.reports[0].aborted
+
+    def test_deterministic_audit_log(self):
+        plan = FaultPlan.builtin("rampage").with_seed(7)
+        _, _, first, _, _, _ = run_plan(plan)
+        _, _, second, _, _, _ = run_plan(plan)
+        assert first.summary() == second.summary()
+        assert [(e.kind, e.callback, e.invocation) for e in first.fired] \
+            == [(e.kind, e.callback, e.invocation) for e in second.fired]
+
+
+class TestContainment:
+    def test_single_crash_degraded_no_failover(self):
+        plan = FaultPlan.builtin("tick-crash")
+        kernel, shim, injector, _, spawned, _ = run_plan(plan)
+        boundary = shim.containment
+        assert len(boundary.panics) == 1
+        assert boundary.panics[0].hook == "task_tick"
+        assert boundary.panics[0].kind == "exception"
+        assert not shim.failed
+        assert kernel.stats.contained_panics == 1
+        assert kernel.stats.failovers == 0
+
+    def test_strike_threshold_forces_failover(self):
+        plan = FaultPlan.builtin("strike-out")
+        kernel, shim, _, _, spawned, _ = run_plan(plan)
+        boundary = shim.containment
+        assert shim.failed
+        report = boundary.failover_report
+        assert report is not None
+        assert report.to_policy == 0
+        assert "strike" in report.reason or "task_tick" in report.reason
+        assert boundary.strikes >= boundary.policy.strike_threshold
+        assert kernel.stats.failovers == 1
+        assert all(t.state is TaskState.DEAD for t in spawned)
+
+    def test_pick_crash_fails_over_immediately(self):
+        plan = FaultPlan.builtin("pick-crash")
+        kernel, shim, _, _, spawned, _ = run_plan(plan)
+        boundary = shim.containment
+        assert shim.failed
+        assert boundary.strikes == 1          # no three-strike grace
+        assert boundary.failover_report is not None
+        assert all(t.state is TaskState.DEAD for t in spawned)
+
+    def test_pick_crash_without_fallback_surfaces(self):
+        """No fallback class: pre-containment behaviour, the bug shows."""
+        kernel, shim, _ = make(fallback=False)
+        shim.install_faults(FaultPlan.builtin("pick-crash"))
+        for i in range(4):
+            kernel.spawn(hog(), policy=POLICY, origin_cpu=i % 4)
+        with pytest.raises(InjectedFault):
+            kernel.run_until_idle()
+
+    def test_hang_charges_virtual_time_as_strikes(self):
+        plan = FaultPlan.builtin("callback-hang")
+        kernel, shim, _, _, spawned, _ = run_plan(plan)
+        boundary = shim.containment
+        overruns = [p for p in boundary.panics if p.kind == "overrun"]
+        assert len(overruns) == 2
+        assert not shim.failed                # below the threshold
+        assert all(t.state is TaskState.DEAD for t in spawned)
+
+    def test_repeated_hangs_strike_out(self):
+        plan = FaultPlan.builtin("hang-out")
+        kernel, shim, _, _, spawned, _ = run_plan(plan)
+        assert shim.failed
+        assert shim.containment.failover_report is not None
+        assert all(t.state is TaskState.DEAD for t in spawned)
+
+    def test_failover_under_load_preserves_task_set(self):
+        """Task-set equivalence: everything alive at failover completes."""
+        kernel, shim, _ = make()
+        spawned = [kernel.spawn(hog(), policy=POLICY, origin_cpu=i % 4)
+                   for i in range(10)]
+        kernel.run_until(3_000_000)
+        alive_before = {pid for pid, t in kernel.tasks.items()
+                        if t.state is not TaskState.DEAD}
+        report = shim.containment.engage_failover(reason="test")
+        assert report is not None
+        assert set(report.requeued_pids) | set(report.lazy_pids) \
+            <= alive_before
+        kernel.run_until_idle()
+        assert all(t.state is TaskState.DEAD for t in spawned)
+        # The failed shim stays silent afterwards.
+        assert shim.failed
+        assert shim.containment.engage_failover(reason="again") is report
+
+    def test_configure_containment_rejects_unknown_knob(self):
+        _, shim, _ = make()
+        with pytest.raises(FaultError):
+            shim.configure_containment(strike_limit=5)
+
+    def test_containment_off_restores_raw_semantics(self):
+        kernel, shim, _ = make()
+        shim.containment = None
+        shim.install_faults(FaultPlan.builtin("tick-crash"))
+        kernel.spawn(hog(), policy=POLICY)
+        with pytest.raises(InjectedFault):
+            kernel.run_until_idle()
+
+
+class TestWatchdogEscalation:
+    def test_token_corruption_recovered_via_watchdog(self):
+        """A forged token makes pnt_err drop the pid from the module's
+        queues — the task is still on the kernel rq, and only the
+        watchdog's lost_task finding can trigger the rescue."""
+        plan = FaultPlan.builtin("token-corrupt")
+        kernel, shim, _, watchdog, spawned, _ = run_plan(plan)
+        assert kernel.stats.pick_errors >= 1
+        assert watchdog.report.by_kind("lost_task")
+        assert shim.failed
+        report = shim.containment.failover_report
+        assert report is not None and report.reason.startswith("watchdog:")
+        assert all(t.state is TaskState.DEAD for t in spawned)
+
+    def test_duplicate_token_recovered_via_watchdog(self):
+        plan = FaultPlan.builtin("token-duplicate")
+        kernel, shim, _, watchdog, spawned, _ = run_plan(plan)
+        assert kernel.stats.pick_errors >= 1
+        assert shim.failed
+        assert all(t.state is TaskState.DEAD for t in spawned)
+
+    def test_escalate_accepts_plain_callable(self):
+        kernel, shim, _ = make()
+        seen = []
+        watchdog = SchedulerWatchdog(kernel, POLICY, period_ns=200_000,
+                                     lost_task_ns=5_000_000,
+                                     escalate=seen.append,
+                                     escalate_kinds=("lost_task",))
+        shim.install_faults(FaultPlan.builtin("token-corrupt"))
+        shim.configure_containment(fallback_policy=0)
+        spawned = [kernel.spawn(hog(), policy=POLICY, origin_cpu=i % 4)
+                   for i in range(8)]
+        kernel.run_until(40_000_000)
+        watchdog.stop()
+        assert seen and seen[0].kind == "lost_task"
+
+
+class TestHintFaults:
+    class CountingWfq(EnokiWfq):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.hints = []
+
+        def parse_hint(self, hint):
+            self.hints.append(hint.payload)
+
+    def _run(self, plan_name, tasks=8):
+        kernel = Kernel(Topology.smp(4), SimConfig())
+        kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+        sched = self.CountingWfq(4, POLICY)
+        shim = EnokiSchedClass.register(kernel, sched, POLICY, priority=10)
+        shim.install_faults(FaultPlan.builtin(plan_name))
+        spawned = [kernel.spawn(hog(hints=True), policy=POLICY,
+                                origin_cpu=i % 4)
+                   for i in range(tasks)]
+        kernel.run_until_idle()
+        sent = sum(1 for t in spawned) * 3   # 3 hints per hog program
+        return kernel, sched, sent
+
+    def test_dropped_hints_counted_and_lost(self):
+        kernel, sched, sent = self._run("hint-drop")
+        assert kernel.stats.hint_drops == 3
+        assert len(sched.hints) == sent - 3
+
+    def test_delayed_hints_all_delivered(self):
+        kernel, sched, sent = self._run("hint-delay")
+        assert kernel.stats.hint_drops == 0
+        assert len(sched.hints) == sent
+
+
+class TestRingOverflowPolicy:
+    def test_drop_new_is_default(self):
+        ring = RingBuffer(2)
+        assert ring.push("a") and ring.push("b")
+        assert not ring.push("c")
+        assert ring.dropped == 1 and ring.overwritten == 0
+        assert ring.pop() == "a"
+
+    def test_overwrite_oldest(self):
+        ring = RingBuffer(2, policy=OVERWRITE_OLDEST)
+        assert ring.push("a") and ring.push("b") and ring.push("c")
+        assert ring.dropped == 1 and ring.overwritten == 1
+        assert ring.pop() == "b" and ring.pop() == "c"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(QueueError):
+            RingBuffer(2, policy="spill")
+
+
+class TestNoFaultTransparency:
+    def _traced_run(self, containment):
+        kernel, shim, _ = make()
+        if not containment:
+            shim.containment = None
+        tracer = SchedTracer.attach(kernel, capacity=200_000)
+        spawned = [kernel.spawn(hog(hints=True), policy=POLICY,
+                                origin_cpu=i % 4)
+                   for i in range(6)]
+        kernel.run_until_idle()
+        assert all(t.state is TaskState.DEAD for t in spawned)
+        # wall_ns is host wall-clock time, nondeterministic between any
+        # two runs (containment or not) — mask it, keep everything else.
+        return [
+            (e.t_ns, e.kind, e.cpu, e.pid, e.cost_ns,
+             tuple(kv for kv in e.args if kv[0] != "wall_ns"))
+            for e in tracer.events
+        ]
+
+    def test_trace_bit_identical_with_containment_enabled(self):
+        """Containment with no faults injected is invisible: same events,
+        same order, same fields."""
+        assert self._traced_run(True) == self._traced_run(False)

@@ -153,6 +153,61 @@ class TestUpgrade:
         report = manager.upgrade_now(EnokiFifo(2, POLICY))
         assert report.pause_ns > 0
 
+    def test_failed_init_rolls_back_to_old_module(self):
+        """If the incoming module's reregister_init crashes, the upgrade
+        aborts: old module re-initialised, dispatch pointer unswapped."""
+        kernel, shim, old_sched = make()
+        tasks = [kernel.spawn(long_prog(), policy=POLICY) for _ in range(4)]
+        kernel.run_until(100_000)
+        manager = UpgradeManager(kernel, shim)
+
+        class ExplodingFifo(EnokiFifo):
+            def reregister_init(self, state):
+                raise RuntimeError("init bug in the new version")
+
+        report = manager.upgrade_now(ExplodingFifo(2, POLICY))
+        assert report.aborted
+        assert "RuntimeError" in report.error
+        assert not report.transferred_state
+        assert shim.lib.scheduler is old_sched
+        # The write lock was released and the old module still schedules.
+        kernel.run_until_idle()
+        assert all(t.state is TaskState.DEAD for t in tasks)
+
+    def test_aborted_upgrade_still_reported_and_charged(self):
+        kernel, shim, _ = make()
+        kernel.spawn(long_prog(), policy=POLICY)
+        kernel.run_until(100_000)
+        manager = UpgradeManager(kernel, shim)
+
+        class ExplodingFifo(EnokiFifo):
+            def reregister_init(self, state):
+                raise RuntimeError("boom")
+
+        report = manager.upgrade_now(ExplodingFifo(2, POLICY))
+        assert manager.reports == [report]
+        assert report.pause_ns > 0
+        # The quiesce window was real: the blackout is still charged.
+        assert shim.invocation_cost_ns("pick_next_task") >= report.pause_ns
+        kernel.run_until_idle()
+
+    def test_upgrade_after_aborted_upgrade_succeeds(self):
+        kernel, shim, old_sched = make()
+        kernel.spawn(long_prog(), policy=POLICY)
+        kernel.run_until(100_000)
+        manager = UpgradeManager(kernel, shim)
+
+        class ExplodingFifo(EnokiFifo):
+            def reregister_init(self, state):
+                raise RuntimeError("boom")
+
+        assert manager.upgrade_now(ExplodingFifo(2, POLICY)).aborted
+        good = EnokiFifo(2, POLICY)
+        report = manager.upgrade_now(good)
+        assert not report.aborted
+        assert shim.lib.scheduler is good
+        kernel.run_until_idle()
+
     def test_cross_socket_wakeups_cost_more(self):
         """NUMA model: a wake across sockets pays the interconnect hop."""
         config = SimConfig().scaled(wakeup_jitter_ns=0)
