@@ -16,6 +16,7 @@ table/figure reproductions live in ``benchmarks/``.
 """
 
 import argparse
+import json
 import sys
 
 from repro.analysis.tables import render_table
@@ -240,8 +241,11 @@ def _chaos_run(plan, rounds, hogs):
     result = run_pipe_benchmark(kernel, policy, rounds=rounds)
     watchdog.stop()
 
+    from repro.verify import check_kernel_state
+
     lost = [pid for pid, task in kernel.tasks.items()
             if task.state is not TaskState.DEAD]
+    violations = check_kernel_state(kernel)
     boundary = shim.containment
     report = boundary.failover_report
     return {
@@ -256,6 +260,7 @@ def _chaos_run(plan, rounds, hogs):
                     and upgrades.reports[0].aborted else
                     "ok" if upgrades and upgrades.reports else "-"),
         "lost": len(lost),
+        "violations": [str(v) for v in violations],
         "latency_us": result.latency_us_per_message,
     }
 
@@ -270,24 +275,95 @@ def cmd_chaos(args):
         return 0
     names = (FaultPlan.builtin_names() if args.plan == "all"
              else [args.plan])
-    rows, lost_total = [], 0
+    rows, outcomes = [], {}
+    lost_total = violation_total = 0
     for name in names:
         plan = FaultPlan.builtin(name).with_seed(args.seed)
         outcome = _chaos_run(plan, rounds=args.rounds, hogs=args.hogs)
+        outcomes[name] = outcome
         lost_total += outcome["lost"]
+        violation_total += len(outcome["violations"])
         rows.append([name, outcome["fired"], outcome["panics"],
                      outcome["failover"], outcome["findings"],
                      outcome["upgrade"], outcome["lost"],
+                     len(outcome["violations"]),
                      f"{outcome['latency_us']:.2f}"])
+    ok = not lost_total and not violation_total
+    if args.json:
+        print(json.dumps({"ok": ok, "seed": args.seed,
+                          "lost": lost_total,
+                          "violations": violation_total,
+                          "plans": outcomes}, indent=2))
+        return 0 if ok else 1
     print(render_table(
         f"chaos: sched-pipe + {args.hogs} hogs under fault injection "
         f"(seed {args.seed})",
         ["plan", "fired", "panics", "failover", "findings", "upgrade",
-         "lost", "us/msg"], rows))
-    if lost_total:
-        print(f"FAIL: {lost_total} task(s) lost")
+         "lost", "sanitize", "us/msg"], rows))
+    if not ok:
+        print(f"FAIL: {lost_total} task(s) lost, "
+              f"{violation_total} invariant violation(s)")
         return 1
-    print("all plans contained: every task completed")
+    print("all plans contained: every task completed, invariants held")
+    return 0
+
+
+def cmd_fuzz(args):
+    from repro.verify import fuzz_run, load_artifact, run_episode
+
+    if args.repro:
+        spec, payload = load_artifact(args.repro)
+        result = run_episode(spec)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(f"replaying reproducer (seed {spec.seed}, "
+                  f"{spec.sched}, {len(spec.tasks)} tasks)")
+            for violation in result.violations:
+                print(f"  {violation}")
+            print("violation reproduced" if not result.ok
+                  else "episode passed: the defect is gone")
+        # A reproducer that still fails exits 1, same as the fuzz run
+        # that produced it — so CI can bisect with the artifact alone.
+        return 0 if result.ok else 1
+
+    progress = None
+    if not args.json:
+        def progress(index, result):
+            if not result.ok:
+                print(f"episode {index} (seed {result.spec.seed}): "
+                      f"{len(result.violations)} violation(s)")
+    report = fuzz_run(args.episodes, args.seed, sched=args.sched,
+                      bug=args.bug, on_episode=progress)
+
+    artifact = None
+    if report.failures and args.out:
+        from repro.verify import shrink_episode, write_artifact
+        failure = report.failures[0]
+        shrunk = shrink_episode(failure.spec, failure)
+        artifact = write_artifact(args.out, shrunk)
+
+    if args.json:
+        payload = report.to_dict()
+        payload["artifact"] = artifact
+        print(json.dumps(payload, indent=2))
+        return 0 if report.ok else 1
+    summary = report.to_dict()
+    print(f"{args.episodes} episodes (master seed {args.seed}): "
+          f"{len(report.failures)} failing, "
+          f"{summary['replay_checked']} replay-checked, "
+          f"{summary['control_checked']} control-checked, "
+          f"{summary['faults_fired']} faults fired")
+    for failure in report.failures[:5]:
+        print(f"  seed {failure.spec.seed} ({failure.spec.sched}):")
+        for violation in failure.violations[:3]:
+            print(f"    {violation}")
+    if artifact:
+        print(f"shrunk reproducer written to {artifact}")
+    if not report.ok:
+        print("FAIL: invariant violations found")
+        return 1
+    print("all invariants held across every episode")
     return 0
 
 
@@ -303,6 +379,8 @@ EXPERIMENTS = {
                          "percentiles"),
     "chaos": (cmd_chaos, "deterministic fault injection: run built-in "
                          "fault plans under containment"),
+    "fuzz": (cmd_fuzz, "seeded simulation fuzzing under the invariant "
+                       "sanitizers and differential oracles"),
 }
 
 
@@ -352,6 +430,24 @@ def main(argv=None):
     p.add_argument("--hogs", type=int, default=6)
     p.add_argument("--list", action="store_true",
                    help="list built-in fault plans and exit")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
+
+    p = sub.add_parser("fuzz", help=EXPERIMENTS["fuzz"][1])
+    p.add_argument("--episodes", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sched", choices=["wfq", "fifo", "eevdf"],
+                   help="pin every episode to one scheduler")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
+    p.add_argument("--out", metavar="PATH",
+                   help="shrink the first failure and write a "
+                        "reproducer artifact here")
+    p.add_argument("--repro", metavar="PATH",
+                   help="re-run a reproducer artifact instead of fuzzing")
+    # Test-only: plant a known defect so the suite can prove the
+    # sanitizers catch it (see tests/test_cli.py).
+    p.add_argument("--bug", default="", help=argparse.SUPPRESS)
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -57,6 +57,12 @@ class EnokiSchedClass(SchedClass):
         self.containment = ContainmentBoundary(self)
         #: optional :class:`~repro.core.faults.FaultInjector`
         self.fault_injector = None
+        #: TEST-ONLY: when True, ``pick_next_task`` schedules the chosen
+        #: pid WITHOUT spending its ``Schedulable`` — the silent
+        #: token-discipline bug the ``repro.verify`` sanitizers exist to
+        #: catch (nothing crashes; the stale token just stays live while
+        #: the task runs).  Never set outside tests and the fuzzer.
+        self._test_skip_token_consume = False
 
     # ------------------------------------------------------------------
     # registration convenience
@@ -389,6 +395,10 @@ class EnokiSchedClass(SchedClass):
                 cpu=cpu, pid=pid, err=1, sched=token,
             ))
             return None
+        if self._test_skip_token_consume:
+            # Planted bug: run the task on an unspent proof.  The kernel
+            # happily dispatches it — only the token sanitizer notices.
+            return token.pid
         self.tokens.consume(token)
         # Being scheduled invalidates the spent proof; the task will get a
         # fresh token at its next state change.

@@ -67,6 +67,7 @@ class RingBuffer:
         self.policy = policy
         self._entries = deque()
         self.pushed = 0
+        self.popped = 0
         self.dropped = 0
         self.overwritten = 0
 
@@ -102,6 +103,7 @@ class RingBuffer:
     def pop(self):
         """Remove and return the oldest entry, or None when empty."""
         if self._entries:
+            self.popped += 1
             return self._entries.popleft()
         return None
 
@@ -110,11 +112,32 @@ class RingBuffer:
         out = []
         while self._entries and (limit is None or len(out) < limit):
             out.append(self._entries.popleft())
+        self.popped += len(out)
         return out
 
     def peek_all(self):
         """Non-destructive snapshot (used by tests)."""
         return list(self._entries)
+
+    def accounting(self):
+        """The ring-accounting ledger the verify sanitizers audit.
+
+        Every successful push is eventually popped, overwritten, or still
+        resident — so ``pushed == popped + overwritten + len(ring)`` must
+        hold at every quiescent point, for either overflow policy.
+        """
+        return {
+            "pushed": self.pushed,
+            "popped": self.popped,
+            "overwritten": self.overwritten,
+            "dropped": self.dropped,
+            "residual": len(self._entries),
+        }
+
+    def accounting_ok(self):
+        """True when the push/pop/drop ledger balances."""
+        return (self.pushed
+                == self.popped + self.overwritten + len(self._entries))
 
     def __repr__(self):
         return (
@@ -168,6 +191,17 @@ class QueueRegistry:
             if qid != queue_id
         }
         return ring
+
+    def rebind(self, user_queues, rev_queues, rev_by_tgid):
+        """Atomically replace every id mapping.
+
+        Live upgrade: the rings survive in Enoki-C, but the incoming
+        module assigns them fresh ids when they are re-announced to it,
+        so the whole table swaps in one step with the dispatch pointer.
+        """
+        self.user_queues = dict(user_queues)
+        self.rev_queues = dict(rev_queues)
+        self.rev_by_tgid = dict(rev_by_tgid)
 
     def rev_queue_for_tgid(self, tgid):
         queue_id = self.rev_by_tgid.get(tgid)

@@ -96,12 +96,19 @@ class TokenRegistry:
         self._id = TokenRegistry._next_registry_id
         self._current = {}    # pid -> (generation, cpu)
         self._next_generation = 0
+        #: optional ``callback(op, pid, cpu, generation)`` observability
+        #: tap; ``op`` is one of ``issue``/``consume``/``revoke``.  The
+        #: verify sanitizers install one to audit token discipline; left
+        #: None (a single attribute test) on the fast path.
+        self.on_event = None
 
     def issue(self, pid, cpu):
         """Mint the now-unique valid token for ``pid`` on ``cpu``."""
         self._next_generation += 1
         generation = self._next_generation
         self._current[pid] = (generation, cpu)
+        if self.on_event is not None:
+            self.on_event("issue", pid, cpu, generation)
         return Schedulable(pid, cpu, generation, self._id)
 
     def peek(self, pid):
@@ -134,10 +141,14 @@ class TokenRegistry:
             raise TokenError(f"{token!r} is stale or foreign")
         token._consumed = True
         del self._current[token.pid]
+        if self.on_event is not None:
+            self.on_event("consume", token.pid, token.cpu, token.generation)
 
     def revoke(self, pid):
         """Invalidate any live token for ``pid`` (task died/departed)."""
-        self._current.pop(pid, None)
+        current = self._current.pop(pid, None)
+        if current is not None and self.on_event is not None:
+            self.on_event("revoke", pid, current[1], current[0])
 
     def live_pids(self):
         return tuple(self._current)

@@ -67,6 +67,25 @@ class UpgradeManager:
                 "cannot live-upgrade while the recorder is active; stop "
                 "recording first"
             )
+        if shim.failed:
+            # The containment boundary failed this shim over before the
+            # scheduled upgrade fired.  Swapping modules on a dead shim
+            # would silently resurrect nothing (dispatches stay no-ops),
+            # so the upgrade aborts cleanly instead.
+            self._trace_phase("abort", error="failed-over")
+            report = UpgradeReport(
+                requested_at_ns=kernel.now,
+                completed_at_ns=kernel.now,
+                pause_ns=0,
+                transferred_state=False,
+                transferred_tasks=0,
+                old_scheduler=type(old_scheduler).__name__,
+                new_scheduler=type(new_scheduler).__name__,
+                aborted=True,
+                error="scheduler already failed over; upgrade aborted",
+            )
+            self.reports.append(report)
+            return report
         self._check_transfer_compat(old_scheduler, new_scheduler)
 
         # 1. Quiesce.  In the DES all reader sections have drained by the
@@ -100,8 +119,17 @@ class UpgradeManager:
                 )
                 self._trace_phase("init")
 
-                # 4. Swap the dispatch pointer.
+                # Hint queues are "passed as part of the shared state"
+                # (section 3.3): the rings survive in Enoki-C, but the
+                # incoming module has never seen them and would hand out
+                # colliding ids for new processes.  Re-announce every
+                # surviving ring and remap Enoki-C's table to the ids the
+                # new module assigns.
+                queue_table = self._reannounce_queues(shim, new_lib)
+
+                # 4. Swap the dispatch pointer (and the queue table).
                 shim.lib = new_lib
+                shim.queues.rebind(*queue_table)
                 self._trace_phase("swap")
             except Exception as exc:
                 # The incoming module failed to initialise.  Re-init the
@@ -164,6 +192,32 @@ class UpgradeManager:
         return self.kernel.events.at(at_ns, do_upgrade)
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _reannounce_queues(shim, new_lib):
+        """Register every surviving hint ring with the incoming module.
+
+        Returns ``(user_queues, rev_queues, rev_by_tgid)`` keyed by the
+        ids the new module assigned, ready for ``QueueRegistry.rebind``
+        at swap time.  Runs under the held write lock, so nothing can
+        observe the half-built table.
+        """
+        registry = shim.queues
+        rev_tgids = {qid: tgid for tgid, qid in registry.rev_by_tgid.items()}
+        user_queues = {}
+        for _old_id, ring in registry.user_queues.items():
+            new_id = new_lib.dispatch_locked(
+                msgs.MsgRegisterQueue(), extra=ring)
+            user_queues[new_id] = ring
+        rev_queues, rev_by_tgid = {}, {}
+        for old_id, ring in registry.rev_queues.items():
+            new_id = new_lib.dispatch_locked(
+                msgs.MsgRegisterReverseQueue(), extra=ring)
+            rev_queues[new_id] = ring
+            tgid = rev_tgids.get(old_id)
+            if tgid is not None:
+                rev_by_tgid[tgid] = new_id
+        return user_queues, rev_queues, rev_by_tgid
 
     def _trace_phase(self, phase, **fields):
         """Emit one ``upgrade`` event per quiesce-protocol phase."""

@@ -17,6 +17,11 @@
 Detaching restores the null-hook fast path everywhere, so a kernel that
 never attaches an Observer pays only a handful of ``is None`` tests —
 benchmark numbers are unaffected (see ``bench_ablation_overhead``).
+
+The same attach point powers verification:
+:class:`~repro.verify.sanitizers.SanitizerSuite` subclasses ``Observer``
+to run invariant checkers (token discipline, task conservation, lock
+order, hint-ring accounting) over the event stream it already receives.
 """
 
 from repro.obs.export import write_chrome, write_ftrace

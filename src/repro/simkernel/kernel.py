@@ -837,6 +837,24 @@ class Kernel:
         cur = self.rqs[cpu].current
         return cur.pid if cur is not None else None
 
+    def queued_cpus(self, pid):
+        """CPUs whose run queue holds ``pid`` (verify-sanitizer tap).
+
+        Exactly one CPU for a healthy queued-RUNNABLE task; more than one
+        means a task was attached twice, zero plus not-in-limbo means the
+        conservation invariant broke.
+        """
+        return [rq.cpu for rq in self.rqs if rq.has(pid)]
+
+    def running_cpus(self, pid):
+        """CPUs currently executing ``pid`` (verify-sanitizer tap)."""
+        return [rq.cpu for rq in self.rqs
+                if rq.current is not None and rq.current.pid == pid]
+
+    def in_limbo(self, pid):
+        """True while ``pid`` awaits a deferred placement."""
+        return pid in self._limbo
+
     def alive_tasks(self):
         return [t for t in self.tasks.values()
                 if t.state != TaskState.DEAD]

@@ -26,7 +26,15 @@ kind                      emitted by
 ``hint_enqueue``          Enoki-C, a userspace hint entered the ring
 ``hint_drop``             Enoki-C, a hint was dropped on ring overflow
 ``hint_dequeue``          Enoki-C, a task drained the reverse ring
+``token_issue``           token registry, a ``Schedulable`` was minted
+``token_consume``         token registry, a token was spent (task picked)
+``token_revoke``          token registry, a live token was invalidated
 ========================  =====================================================
+
+The ``token_*`` kinds only flow when a
+:class:`~repro.verify.SanitizerSuite` (or anything else that installs a
+``TokenRegistry.on_event`` tap) is attached — the registry's fast path is
+a single ``is None`` test, like every other hook site.
 
 Anything not in the table is legal too — the tracer stores unknown kinds
 verbatim, so layers can add events without touching this module.

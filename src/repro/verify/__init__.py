@@ -1,0 +1,41 @@
+"""repro.verify: invariant sanitizers, seeded fuzzing, and shrinking.
+
+The testing subsystem the rest of the reproduction is audited with:
+
+* :mod:`repro.verify.sanitizers` — runtime invariant checkers (token
+  discipline, task conservation, clock monotonicity, lock order, hint
+  ring accounting) attached through the unified Observer hook;
+* :mod:`repro.verify.fuzz` — the seeded episode fuzzer behind
+  ``repro fuzz``, with record/replay and native-control differential
+  oracles;
+* :mod:`repro.verify.shrink` — minimises a failing episode to a small
+  reproducer artifact.
+"""
+
+from repro.verify.fuzz import (EpisodeResult, EpisodeSpec, FuzzReport,
+                               TaskSpec, fuzz_run, generate_episode,
+                               run_episode)
+from repro.verify.sanitizers import (SanitizerError, SanitizerSuite,
+                                     Violation, assert_kernel_state,
+                                     check_kernel_state)
+from repro.verify.shrink import (ShrinkResult, load_artifact, shrink_episode,
+                                 write_artifact)
+
+__all__ = [
+    "EpisodeResult",
+    "EpisodeSpec",
+    "FuzzReport",
+    "SanitizerError",
+    "SanitizerSuite",
+    "ShrinkResult",
+    "TaskSpec",
+    "Violation",
+    "assert_kernel_state",
+    "check_kernel_state",
+    "fuzz_run",
+    "generate_episode",
+    "load_artifact",
+    "run_episode",
+    "shrink_episode",
+    "write_artifact",
+]

@@ -1,5 +1,7 @@
 """Tests for the command-line runner."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -37,3 +39,69 @@ class TestCli:
                      "--duration-ms", "60"]) == 0
         out = capsys.readouterr().out
         assert "Enoki-Shinjuku" in out
+
+
+class TestChaosExitCodes:
+    def test_contained_plan_exits_zero(self, capsys):
+        assert main(["chaos", "--plan", "tick-crash",
+                     "--rounds", "150", "--hogs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants held" in out
+
+    def test_json_summary_is_machine_readable(self, capsys):
+        assert main(["chaos", "--plan", "hint-drop", "--json",
+                     "--rounds", "150", "--hogs", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["lost"] == 0
+        assert payload["violations"] == 0
+        assert "hint-drop" in payload["plans"]
+        assert payload["plans"]["hint-drop"]["violations"] == []
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--episodes", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+
+    def test_planted_bug_exits_nonzero(self, capsys):
+        assert main(["fuzz", "--episodes", "2", "--seed", "3",
+                     "--bug", "skip_consume"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "token" in out
+
+    def test_json_summary(self, capsys):
+        assert main(["fuzz", "--episodes", "4", "--seed", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["episodes"] == 4
+        assert payload["failures"] == []
+        assert payload["control_checked"] == 4
+
+    def test_failing_json_carries_violations(self, capsys):
+        assert main(["fuzz", "--episodes", "2", "--seed", "3",
+                     "--bug", "skip_consume", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["failures"]
+        sanitizers = {v["sanitizer"]
+                      for failure in payload["failures"]
+                      for v in failure["violations"]}
+        assert "token" in sanitizers
+
+    def test_bug_run_shrinks_and_artifact_replays(self, tmp_path, capsys):
+        artifact = str(tmp_path / "repro.json")
+        assert main(["fuzz", "--episodes", "1", "--seed", "5",
+                     "--bug", "skip_consume", "--out", artifact]) == 1
+        assert "shrunk reproducer" in capsys.readouterr().out
+        # The artifact is self-contained: replaying it still fails...
+        assert main(["fuzz", "--repro", artifact]) == 1
+        assert "violation reproduced" in capsys.readouterr().out
+        # ...and its JSON carries the shrunk spec and the repro command.
+        payload = json.loads(open(artifact).read())
+        assert payload["kind"] == "repro.verify reproducer"
+        assert payload["violations"]
+        assert artifact in payload["repro_command"]

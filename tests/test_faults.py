@@ -344,3 +344,85 @@ class TestNoFaultTransparency:
         """Containment with no faults injected is invisible: same events,
         same order, same fields."""
         assert self._traced_run(True) == self._traced_run(False)
+
+
+class TestFailoverUpgradeInterleaving:
+    """Failover and live upgrade racing on the same shim.
+
+    Both paths serialise on the per-scheduler rwlock, so only two
+    orderings exist and both must be clean: the strike threshold trips
+    first and a later upgrade must abort (swapping modules on a dead shim
+    would resurrect nothing), or the upgrade aborts on its own and the
+    strike-out then fails over normally.  Either way: zero task loss and
+    a trace whose upgrade/failover events appear in a consistent order.
+    """
+
+    def _interleaved_run(self, plan, upgrade_at_ns):
+        kernel, shim, _ = make()
+        tracer = SchedTracer.attach(kernel, capacity=200_000)
+        shim.install_faults(plan)
+        shim.configure_containment(fallback_policy=0)
+        watchdog = SchedulerWatchdog(
+            kernel, POLICY, period_ns=200_000, lost_task_ns=5_000_000,
+            escalate=shim.containment, escalate_kinds=("lost_task",))
+        upgrades = UpgradeManager(kernel, shim)
+        upgrades.schedule_upgrade(lambda: EnokiWfq(4, POLICY),
+                                  at_ns=upgrade_at_ns)
+        spawned = [kernel.spawn(hog(), name=f"hog-{i}", policy=POLICY,
+                                origin_cpu=i % 4)
+                   for i in range(8)]
+        kernel.run_until_idle()
+        watchdog.stop()
+        return kernel, shim, upgrades, tracer, spawned
+
+    def test_failover_first_aborts_the_pending_upgrade(self):
+        """Strike-out trips long before the scheduled upgrade: the
+        upgrade must refuse to swap modules on the failed-over shim."""
+        plan = FaultPlan.builtin("strike-out")
+        kernel, shim, upgrades, tracer, spawned = self._interleaved_run(
+            plan, upgrade_at_ns=18_000_000)
+        assert shim.failed
+        failover_events = tracer.events_of_kind("failover")
+        assert failover_events
+        assert upgrades.reports, "the scheduled upgrade never ran"
+        report = upgrades.reports[0]
+        assert report.aborted
+        assert "failed over" in report.error
+        assert report.pause_ns == 0          # nothing was quiesced
+        # The refusal is visible in the trace, after the failover.
+        aborts = [e for e in tracer.events_of_kind("upgrade")
+                  if e.arg("phase") == "abort"]
+        assert aborts
+        assert aborts[0].t_ns >= failover_events[0].t_ns
+        # Zero task loss despite the race.
+        assert all(t.state is TaskState.DEAD for t in spawned)
+        assert all(t.state is TaskState.DEAD
+                   for t in kernel.tasks.values())
+
+    def test_upgrade_abort_then_strikeout_fails_over_cleanly(self):
+        """The upgrade aborts on its own (incoming module's init raises),
+        the old module keeps running, then strikes out: both reports
+        exist, the trace orders abort before failover, nothing is lost."""
+        plan = FaultPlan(
+            name="abort-then-strike",
+            description="upgrade rollback followed by tick strike-out",
+            specs=(
+                FaultSpec(kind="raise", callback="reregister_init", at=1),
+                FaultSpec(kind="raise", callback="task_tick", at=5,
+                          count=8),
+            ),
+        ).validate()
+        kernel, shim, upgrades, tracer, spawned = self._interleaved_run(
+            plan, upgrade_at_ns=800_000)
+        assert upgrades.reports and upgrades.reports[0].aborted
+        assert "InjectedFault" in upgrades.reports[0].error
+        assert shim.failed                   # the strike-out still landed
+        assert shim.containment.failover_report is not None
+        aborts = [e for e in tracer.events_of_kind("upgrade")
+                  if e.arg("phase") == "abort"]
+        failover_events = tracer.events_of_kind("failover")
+        assert aborts and failover_events
+        assert aborts[0].t_ns <= failover_events[0].t_ns
+        assert all(t.state is TaskState.DEAD for t in spawned)
+        assert all(t.state is TaskState.DEAD
+                   for t in kernel.tasks.values())

@@ -1,0 +1,306 @@
+"""Tests for the verify subsystem: sanitizers, fuzzer, and shrinker."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core import EnokiSchedClass
+from repro.core.hints import RingBuffer
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.fifo import EnokiFifo
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.simkernel.clock import usecs
+from repro.simkernel.program import Run, SendHint, Sleep
+from repro.verify import (SanitizerError, SanitizerSuite, assert_kernel_state,
+                          check_kernel_state, fuzz_run, generate_episode,
+                          load_artifact, run_episode, shrink_episode,
+                          write_artifact)
+
+POLICY = 7
+
+
+def make_enoki_kernel(nr_cpus=2):
+    kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+    shim = EnokiSchedClass.register(kernel, EnokiFifo(nr_cpus, POLICY),
+                                    POLICY, priority=10)
+    return kernel, shim
+
+
+def spin(run_ns=usecs(100), phases=3, sleep_ns=usecs(20)):
+    def prog():
+        for _ in range(phases):
+            yield Run(run_ns)
+            yield Sleep(sleep_ns)
+    return prog
+
+
+class TestSanitizerSuite:
+    def test_clean_run_has_no_violations(self):
+        kernel, _shim = make_enoki_kernel()
+        suite = SanitizerSuite.attach(kernel)
+        for i in range(4):
+            kernel.spawn(spin(), policy=POLICY, origin_cpu=i % 2)
+        kernel.run_until_idle()
+        suite.check()
+        assert suite.ok, suite.violation_report()
+        assert suite.events_seen > 0
+
+    def test_token_events_flow_through_the_trace(self):
+        kernel, _shim = make_enoki_kernel()
+        suite = SanitizerSuite.attach(kernel)
+        kernel.spawn(spin(), policy=POLICY)
+        kernel.run_until_idle()
+        kinds = suite.summary()
+        assert kinds.get("token_issue", 0) > 0
+        assert kinds.get("token_consume", 0) > 0
+
+    def test_detach_unhooks_token_registry(self):
+        kernel, shim = make_enoki_kernel()
+        suite = SanitizerSuite.attach(kernel)
+        assert shim.tokens.on_event is not None
+        suite.detach()
+        assert shim.tokens.on_event is None
+        assert kernel.trace is None
+
+    def test_planted_token_bug_is_caught(self):
+        """The deliberately planted skip-consume defect must be caught by
+        the token sanitizer — proof the checker checks something."""
+        kernel, shim = make_enoki_kernel()
+        suite = SanitizerSuite.attach(kernel)
+        shim._test_skip_token_consume = True
+        kernel.spawn(spin(), policy=POLICY)
+        kernel.run_until_idle()
+        assert not suite.ok
+        assert {v.sanitizer for v in suite.violations} == {"token"}
+        assert "without consuming" in suite.violations[0].detail
+
+    def test_violations_counted_in_metrics(self):
+        kernel, shim = make_enoki_kernel()
+        suite = SanitizerSuite.attach(kernel)
+        shim._test_skip_token_consume = True
+        kernel.spawn(spin(phases=1), policy=POLICY)
+        kernel.run_until_idle()
+        assert suite.registry.counter("verify.violations").value > 0
+        assert suite.registry.counter("verify.token").value > 0
+
+
+class TestStateScans:
+    def test_clean_kernel_state_passes(self):
+        kernel, _shim = make_enoki_kernel()
+        kernel.spawn(spin(), policy=POLICY)
+        kernel.run_until_idle()
+        assert check_kernel_state(kernel) == []
+        assert_kernel_state(kernel)     # must not raise
+
+    def test_detached_runnable_task_is_flagged_as_lost(self):
+        kernel, _shim = make_enoki_kernel(nr_cpus=1)
+        for _ in range(3):
+            kernel.spawn(spin(run_ns=usecs(500), phases=2), policy=POLICY)
+        kernel.run_for(usecs(300))      # mid-flight: someone is queued
+        victim = next(rq for rq in kernel.rqs if rq.queued)
+        task = next(iter(victim.queued.values()))
+        victim.detach(task)             # silently lose a RUNNABLE task
+        violations = check_kernel_state(kernel)
+        assert any(v.sanitizer == "conservation" and v.pid == task.pid
+                   for v in violations)
+        with pytest.raises(SanitizerError):
+            assert_kernel_state(kernel)
+
+    def test_live_token_for_dead_task_is_flagged(self):
+        kernel, shim = make_enoki_kernel()
+        kernel.spawn(spin(phases=1), policy=POLICY)
+        kernel.run_until_idle()
+        shim.tokens.issue(999, 0)       # token for a pid that never existed
+        violations = check_kernel_state(kernel)
+        assert any(v.sanitizer == "token" and v.pid == 999
+                   for v in violations)
+
+    def test_broken_ring_accounting_is_flagged(self):
+        kernel, shim = make_enoki_kernel()
+
+        def hinting():
+            for i in range(3):
+                yield Run(usecs(50))
+                yield SendHint({"tid": None, "seq": i}, policy=POLICY)
+        kernel.spawn(hinting, policy=POLICY)
+        kernel.run_until_idle()
+        ring = next(iter(shim.queues.user_queues.values()))
+        ring.popped += 2                # cook the books
+        violations = check_kernel_state(kernel)
+        assert any(v.sanitizer == "hint_ring" for v in violations)
+
+
+class TestEventStreamSanitizers:
+    """Feed synthetic event streams straight into an unattached suite."""
+
+    def test_clock_regression(self):
+        suite = SanitizerSuite()
+        suite._hook("dispatch", t=100, cpu=0, pid=1)
+        suite._hook("dispatch", t=50, cpu=0, pid=2)
+        assert any(v.sanitizer == "clock" for v in suite.violations)
+
+    def test_release_of_unheld_lock(self):
+        suite = SanitizerSuite()
+        suite._hook("lock_release", t=10, cpu=0, lock=3)
+        assert any(v.sanitizer == "lock"
+                   and "does not hold" in v.detail
+                   for v in suite.violations)
+
+    def test_lock_order_inversion(self):
+        suite = SanitizerSuite()
+        # thread 0 takes A then B; thread 1 takes B then A: ABBA.
+        suite._hook("lock_acquire", t=1, cpu=0, lock="A")
+        suite._hook("lock_acquire", t=2, cpu=0, lock="B")
+        suite._hook("lock_release", t=3, cpu=0, lock="B")
+        suite._hook("lock_release", t=4, cpu=0, lock="A")
+        suite._hook("lock_acquire", t=5, cpu=1, lock="B")
+        suite._hook("lock_acquire", t=6, cpu=1, lock="A")
+        assert any("inversion" in v.detail for v in suite.violations)
+
+    def test_consistent_lock_order_is_clean(self):
+        suite = SanitizerSuite()
+        for thread in (0, 1):
+            suite._hook("lock_acquire", t=thread * 10 + 1, cpu=thread,
+                        lock="A")
+            suite._hook("lock_acquire", t=thread * 10 + 2, cpu=thread,
+                        lock="B")
+            suite._hook("lock_release", t=thread * 10 + 3, cpu=thread,
+                        lock="B")
+            suite._hook("lock_release", t=thread * 10 + 4, cpu=thread,
+                        lock="A")
+        suite.check()
+        assert suite.ok, suite.violation_report()
+
+    def test_held_lock_at_end_of_run(self):
+        suite = SanitizerSuite()
+        suite._hook("lock_acquire", t=1, cpu=0, lock="A")
+        suite.check()
+        assert any("still holds" in v.detail for v in suite.violations)
+
+    def test_rwlock_reader_during_writer(self):
+        suite = SanitizerSuite()
+        suite._hook("rwlock_write_acquire", t=1, cpu=-1, lock="q")
+        suite._hook("rwlock_read_acquire", t=2, cpu=-1, lock="q")
+        assert any(v.sanitizer == "lock" and "writer holds" in v.detail
+                   for v in suite.violations)
+
+    def test_rwlock_release_underflow(self):
+        suite = SanitizerSuite()
+        suite._hook("rwlock_read_release", t=1, cpu=-1, lock="q")
+        assert any("underflow" in v.detail for v in suite.violations)
+
+    def test_double_consume_without_issue(self):
+        suite = SanitizerSuite()
+        suite._hook("token_consume", t=5, cpu=0, pid=1, gen=1)
+        assert any(v.sanitizer == "token"
+                   and "none live" in v.detail
+                   for v in suite.violations)
+
+
+class TestFuzzer:
+    def test_generation_is_deterministic(self):
+        assert generate_episode(77) == generate_episode(77)
+        assert generate_episode(77) != generate_episode(78)
+
+    def test_spec_roundtrips_through_json(self):
+        for seed in (3, 11, 19, 27):
+            spec = generate_episode(seed)
+            data = json.loads(json.dumps(spec.to_dict()))
+            assert type(spec).from_dict(data) == spec
+
+    def test_episode_runs_are_reproducible(self):
+        spec = generate_episode(123)
+        first = run_episode(spec)
+        second = run_episode(spec)
+        assert first.events_seen == second.events_seen
+        assert first.ok == second.ok
+        assert len(first.violations) == len(second.violations)
+
+    @pytest.mark.parametrize("sched", ["wfq", "fifo", "eevdf"])
+    def test_small_clean_run_per_scheduler(self, sched):
+        report = fuzz_run(5, seed=2, sched=sched)
+        assert report.ok, [str(v) for r in report.failures
+                           for v in r.violations[:3]]
+
+    def test_recordable_episodes_are_replay_checked(self):
+        report = fuzz_run(12, seed=4)
+        checked = sum(1 for r in report.results if r.replay_checked)
+        assert checked > 0
+        assert all(r.control_checked for r in report.results)
+
+    def test_planted_bug_fails_the_fuzz_run(self):
+        report = fuzz_run(3, seed=9, bug="skip_consume")
+        assert not report.ok
+        kinds = {v.sanitizer for r in report.failures for v in r.violations}
+        assert "token" in kinds
+
+
+class TestShrinker:
+    def _failing_spec(self):
+        # A meaty episode (many tasks, no faults/upgrade so it records)
+        # with the planted token bug.
+        spec = generate_episode(4242, sched="wfq")
+        return replace(spec, bug="skip_consume", plan=None, upgrade_at_ns=0)
+
+    def test_shrinks_to_quarter_or_less(self):
+        spec = self._failing_spec()
+        result = shrink_episode(spec)
+        assert result.shrunk_events <= result.original_events * 0.25, (
+            f"only shrank {result.original_events} -> "
+            f"{result.shrunk_events}")
+        kinds = {v.sanitizer for v in result.violations}
+        assert "token" in kinds         # the violation survived shrinking
+
+    def test_refuses_to_shrink_a_passing_episode(self):
+        spec = generate_episode(77, sched="fifo")
+        with pytest.raises(ValueError):
+            shrink_episode(spec)
+
+    def test_artifact_roundtrip_reproduces(self, tmp_path):
+        spec = self._failing_spec()
+        result = shrink_episode(spec)
+        path = str(tmp_path / "repro.json")
+        write_artifact(path, result)
+        loaded_spec, payload = load_artifact(path)
+        assert payload["violations"]
+        assert payload["repro_command"].endswith(path)
+        rerun = run_episode(loaded_spec)
+        assert not rerun.ok             # the artifact still fails
+        assert {v.sanitizer for v in rerun.violations} == {"token"}
+
+    def test_artifact_of_recordable_episode_carries_record_log(
+            self, tmp_path):
+        spec = self._failing_spec()
+        result = shrink_episode(spec)
+        path = str(tmp_path / "repro.json")
+        write_artifact(path, result)
+        _spec, payload = load_artifact(path)
+        assert payload["record_log"], "recordable episode lost its log"
+        assert payload["trace_tail"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "notrepro.json"
+        path.write_text(json.dumps({"kind": "something else"}))
+        with pytest.raises(ValueError):
+            load_artifact(str(path))
+
+
+class TestRingAccountingUnit:
+    def test_balanced_after_mixed_traffic(self):
+        ring = RingBuffer(4)
+        for i in range(6):
+            ring.push(i)
+        ring.pop()
+        ring.drain(2)
+        assert ring.accounting_ok()
+        ledger = ring.accounting()
+        assert ledger["pushed"] == 4        # two rejected by drop-new
+        assert ledger["dropped"] == 2
+
+    def test_tampered_ledger_detected(self):
+        ring = RingBuffer(4)
+        ring.push(1)
+        ring.popped += 1
+        assert not ring.accounting_ok()
