@@ -6,29 +6,22 @@ paper table or figure reports, via ``repro.analysis.tables``.
 """
 
 from repro.analysis.tables import render_table
-from repro.core import EnokiSchedClass, Recorder
+from repro.core import EnokiSchedClass
+from repro.exp import KernelBuilder
 from repro.schedulers.arachne import EnokiCoreArbiter
-from repro.schedulers.cfs import CfsSchedClass
-from repro.schedulers.ghost import (
-    GHOST_POLICY,
-    install_ghost_percpu_fifo,
-    install_ghost_shinjuku,
-    install_ghost_sol,
-)
-from repro.schedulers.locality import EnokiLocality
-from repro.schedulers.shinjuku import EnokiShinjuku
-from repro.schedulers.wfq import EnokiWfq
-from repro.simkernel import Kernel, SimConfig, Topology
 
 ENOKI_POLICY = 7
 
 
+def _base_builder(topology=None, config=None):
+    """A builder with CFS registered as the default class."""
+    return (KernelBuilder(topology=topology, config=config)
+            .with_native("cfs", policy=0, priority=5))
+
+
 def base_kernel(topology=None, config=None):
     """A kernel with CFS registered as the default class."""
-    kernel = Kernel(topology if topology is not None else Topology.small8(),
-                    config if config is not None else SimConfig())
-    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
-    return kernel
+    return _base_builder(topology, config).build().kernel
 
 
 def cfs_kernel(topology=None, config=None):
@@ -36,57 +29,52 @@ def cfs_kernel(topology=None, config=None):
 
 
 def wfq_kernel(topology=None, config=None, recorder=None):
-    kernel = base_kernel(topology, config)
-    nr = kernel.topology.nr_cpus
-    shim = EnokiSchedClass.register(
-        kernel, EnokiWfq(nr, ENOKI_POLICY), ENOKI_POLICY, priority=10,
-        recorder=recorder,
-    )
-    return kernel, ENOKI_POLICY
+    session = (_base_builder(topology, config)
+               .with_enoki("wfq", policy=ENOKI_POLICY, priority=10,
+                           recorder=recorder)
+               .build())
+    return session.kernel, session.policy
 
 
 def shinjuku_kernel(topology=None, worker_cpus=None, config=None):
-    kernel = base_kernel(topology, config)
-    nr = kernel.topology.nr_cpus
-    sched = EnokiShinjuku(nr, ENOKI_POLICY, worker_cpus=worker_cpus)
-    EnokiSchedClass.register(kernel, sched, ENOKI_POLICY, priority=10)
-    return kernel, ENOKI_POLICY
+    session = (_base_builder(topology, config)
+               .with_enoki("shinjuku", policy=ENOKI_POLICY, priority=10,
+                           worker_cpus=worker_cpus)
+               .build())
+    return session.kernel, session.policy
 
 
 def locality_kernel(topology=None, mode="hints", config=None):
-    kernel = base_kernel(topology, config)
-    nr = kernel.topology.nr_cpus
-    sched = EnokiLocality(nr, ENOKI_POLICY, mode=mode)
-    EnokiSchedClass.register(kernel, sched, ENOKI_POLICY, priority=10)
-    return kernel, ENOKI_POLICY
+    session = (_base_builder(topology, config)
+               .with_enoki("locality", policy=ENOKI_POLICY, priority=10,
+                           mode=mode)
+               .build())
+    return session.kernel, session.policy
 
 
 def ghost_sol_kernel(topology=None, managed_cpus=None, agent_cpu=None,
                      config=None):
-    kernel = base_kernel(topology, config)
-    nr = kernel.topology.nr_cpus
-    managed = (list(managed_cpus) if managed_cpus is not None
-               else list(range(nr - 1)))
-    agent = agent_cpu if agent_cpu is not None else nr - 1
-    install_ghost_sol(kernel, managed_cpus=managed, agent_cpu=agent)
-    return kernel, GHOST_POLICY
+    session = (_base_builder(topology, config)
+               .with_ghost("sol", managed_cpus=managed_cpus,
+                           agent_cpu=agent_cpu)
+               .build())
+    return session.kernel, session.policy
 
 
 def ghost_fifo_kernel(topology=None, managed_cpus=None, config=None):
-    kernel = base_kernel(topology, config)
-    nr = kernel.topology.nr_cpus
-    managed = (list(managed_cpus) if managed_cpus is not None
-               else list(range(nr)))
-    install_ghost_percpu_fifo(kernel, managed_cpus=managed)
-    return kernel, GHOST_POLICY
+    session = (_base_builder(topology, config)
+               .with_ghost("percpu_fifo", managed_cpus=managed_cpus)
+               .build())
+    return session.kernel, session.policy
 
 
 def ghost_shinjuku_kernel(topology=None, managed_cpus=(3, 4, 5, 6, 7),
                           agent_cpu=2, config=None):
-    kernel = base_kernel(topology, config)
-    install_ghost_shinjuku(kernel, managed_cpus=list(managed_cpus),
+    session = (_base_builder(topology, config)
+               .with_ghost("shinjuku", managed_cpus=list(managed_cpus),
                            agent_cpu=agent_cpu)
-    return kernel, GHOST_POLICY
+               .build())
+    return session.kernel, session.policy
 
 
 def arachne_enoki_setup(kernel, cores, min_cores=2, max_cores=None,

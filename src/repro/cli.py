@@ -20,39 +20,32 @@ import json
 import sys
 
 from repro.analysis.tables import render_table
-from repro.core import EnokiSchedClass, UpgradeManager
-from repro.schedulers.cfs import CfsSchedClass
-from repro.schedulers.shinjuku import EnokiShinjuku
-from repro.schedulers.wfq import EnokiWfq
-from repro.simkernel import Kernel, SimConfig, Topology
+from repro.exp import KernelBuilder
 from repro.simkernel.clock import msecs
 
 POLICY = 7
 
 
-def _cfs_kernel(topology=None):
-    kernel = Kernel(topology or Topology.small8(), SimConfig())
-    kernel.register_sched_class(CfsSchedClass(policy=0), priority=10)
-    return kernel, 0
+def _cfs_session(topology=None):
+    return (KernelBuilder(topology=topology)
+            .with_native("cfs", policy=0, priority=10).build())
 
 
-def _wfq_kernel(topology=None):
-    kernel = Kernel(topology or Topology.small8(), SimConfig())
-    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
-    nr = kernel.topology.nr_cpus
-    EnokiSchedClass.register(kernel, EnokiWfq(nr, POLICY), POLICY,
-                             priority=10)
-    return kernel, POLICY
+def _wfq_session(topology=None):
+    return (KernelBuilder(topology=topology)
+            .with_native("cfs", policy=0, priority=5)
+            .with_enoki("wfq", policy=POLICY, priority=10).build())
 
 
 def cmd_pipe(args):
     from repro.workloads.pipe_bench import run_pipe_benchmark
 
     rows = []
-    for name, factory in (("CFS", _cfs_kernel), ("Enoki WFQ", _wfq_kernel)):
+    for name, factory in (("CFS", _cfs_session),
+                          ("Enoki WFQ", _wfq_session)):
         for config, same in (("one core", True), ("two cores", False)):
-            kernel, policy = factory()
-            result = run_pipe_benchmark(kernel, policy,
+            session = factory()
+            result = run_pipe_benchmark(session.kernel, session.policy,
                                         rounds=args.rounds,
                                         same_core=same)
             rows.append([name, config, result.latency_us_per_message])
@@ -64,11 +57,13 @@ def cmd_pipe(args):
 def cmd_schbench(args):
     from repro.workloads.schbench import run_schbench
 
-    topology = Topology.big80() if args.big else Topology.small8()
+    topology = "big80" if args.big else "small8"
     rows = []
-    for name, factory in (("CFS", _cfs_kernel), ("Enoki WFQ", _wfq_kernel)):
-        kernel, policy = factory(topology)
-        result = run_schbench(kernel, policy, message_threads=2,
+    for name, factory in (("CFS", _cfs_session),
+                          ("Enoki WFQ", _wfq_session)):
+        session = factory(topology)
+        result = run_schbench(session.kernel, session.policy,
+                              message_threads=2,
                               workers_per_thread=args.workers,
                               warmup_ns=msecs(50),
                               duration_ns=msecs(args.duration_ms))
@@ -85,14 +80,12 @@ def cmd_rocksdb(args):
 
     rows = []
     for name in ("CFS", "Enoki-Shinjuku"):
-        kernel = Kernel(Topology.small8(), SimConfig())
-        kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
-        policy = 0
+        builder = KernelBuilder().with_native("cfs", policy=0, priority=5)
         if name == "Enoki-Shinjuku":
-            sched = EnokiShinjuku(8, 8, worker_cpus=[3, 4, 5, 6, 7])
-            EnokiSchedClass.register(kernel, sched, 8, priority=10)
-            policy = 8
-        result = run_rocksdb(kernel, policy, args.load,
+            builder.with_enoki("shinjuku", policy=8, priority=10,
+                               worker_cpus=[3, 4, 5, 6, 7])
+        session = builder.build()
+        result = run_rocksdb(session.kernel, session.policy, args.load,
                              duration_ns=msecs(args.duration_ms))
         rows.append([name, result.p50_us, result.p99_us,
                      result.completed])
@@ -105,14 +98,11 @@ def cmd_rocksdb(args):
 def cmd_upgrade(args):
     from repro.workloads.schbench import run_schbench
 
-    for label, topology in (("1-socket/8-core", Topology.small8()),
-                            ("2-socket/80-cpu", Topology.big80())):
-        kernel, policy = _wfq_kernel(topology)
-        shim = next(c for _p, c in kernel._classes if c.policy == policy)
-        manager = UpgradeManager(kernel, shim)
-        manager.schedule_upgrade(
-            lambda: EnokiWfq(topology.nr_cpus, policy), at_ns=msecs(30))
-        run_schbench(kernel, policy, message_threads=2,
+    for label, topology in (("1-socket/8-core", "small8"),
+                            ("2-socket/80-cpu", "big80")):
+        session = _wfq_session(topology)
+        manager = session.schedule_upgrade(at_ns=msecs(30))
+        run_schbench(session.kernel, session.policy, message_threads=2,
                      workers_per_thread=2, warmup_ns=msecs(10),
                      duration_ns=msecs(80))
         report = manager.reports[0]
@@ -125,12 +115,14 @@ def cmd_fairness(args):
     from repro.workloads.fairness import run_fair_share
 
     rows = []
-    for name, factory in (("CFS", _cfs_kernel), ("Enoki WFQ", _wfq_kernel)):
-        kernel, policy = factory()
-        spread = run_fair_share(kernel, policy, work_ns=msecs(200))
-        kernel, policy = factory()
-        packed = run_fair_share(kernel, policy, work_ns=msecs(200),
-                                one_core=True)
+    for name, factory in (("CFS", _cfs_session),
+                          ("Enoki WFQ", _wfq_session)):
+        session = factory()
+        spread = run_fair_share(session.kernel, session.policy,
+                                work_ns=msecs(200))
+        session = factory()
+        packed = run_fair_share(session.kernel, session.policy,
+                                work_ns=msecs(200), one_core=True)
         rows.append([
             name,
             max(spread.finish_times_ns.values()) / 1e9,
@@ -147,13 +139,12 @@ def cmd_fairness(args):
 def _observed_pipe_run(rounds, hogs, capacity):
     """Run the pipe workload (plus optional background hogs that force
     work stealing) on an Enoki WFQ kernel with the Observer attached."""
-    from repro.obs import Observer
     from repro.simkernel.clock import usecs
     from repro.simkernel.program import Run, Sleep
     from repro.workloads.pipe_bench import run_pipe_benchmark
 
-    kernel, policy = _wfq_kernel()
-    observer = Observer.attach(kernel, capacity=capacity)
+    session = _wfq_session()
+    observer = session.attach_observer(capacity=capacity)
 
     def hog():
         for _ in range(200):
@@ -163,10 +154,11 @@ def _observed_pipe_run(rounds, hogs, capacity):
     # Background load pinned to half the cores builds uneven queues, so
     # the trace also shows balancing: steals (migrate) and rejections.
     for i in range(hogs):
-        kernel.spawn(hog, name=f"hog-{i}", policy=policy,
-                     allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
-    result = run_pipe_benchmark(kernel, policy, rounds=rounds)
-    return kernel, observer, result
+        session.spawn(hog, name=f"hog-{i}",
+                      allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
+    result = run_pipe_benchmark(session.kernel, session.policy,
+                                rounds=rounds)
+    return session.kernel, observer, result
 
 
 def cmd_trace(args):
@@ -205,26 +197,19 @@ def _chaos_run(plan, rounds, hogs):
     buggy module silently dropped (e.g. via a corrupted token's pnt_err)
     ever get rescued.
     """
-    from repro.core import SchedulerWatchdog, UpgradeManager
     from repro.simkernel.clock import usecs
     from repro.simkernel.program import Run, SendHint, Sleep
     from repro.simkernel.task import TaskState
     from repro.workloads.pipe_bench import run_pipe_benchmark
 
-    kernel, policy = _wfq_kernel()
-    shim = next(c for _p, c in kernel._classes if c.policy == policy)
-    injector = shim.install_faults(plan)
-    shim.configure_containment(fallback_policy=0)
-    watchdog = SchedulerWatchdog(
-        kernel, policy, period_ns=usecs(200), lost_task_ns=usecs(5_000),
-        escalate=shim.containment, escalate_kinds=("lost_task",))
+    session = _wfq_session()
+    kernel, policy = session.kernel, session.policy
+    injector = session.install_faults(plan)
+    watchdog = session.watchdog
 
     upgrades = None
     if any(spec.callback == "reregister_init" for spec in plan.specs):
-        upgrades = UpgradeManager(kernel, shim)
-        nr = kernel.topology.nr_cpus
-        upgrades.schedule_upgrade(lambda: EnokiWfq(nr, policy),
-                                  at_ns=usecs(800))
+        upgrades = session.schedule_upgrade(at_ns=usecs(800))
 
     def hog():
         # Bursts longer than the 1 ms tick period so task_tick traffic
@@ -236,17 +221,17 @@ def _chaos_run(plan, rounds, hogs):
             yield Sleep(usecs(200))
 
     for i in range(hogs):
-        kernel.spawn(hog, name=f"hog-{i}", policy=policy,
-                     allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
+        session.spawn(hog, name=f"hog-{i}",
+                      allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
     result = run_pipe_benchmark(kernel, policy, rounds=rounds)
-    watchdog.stop()
+    session.stop()
 
     from repro.verify import check_kernel_state
 
     lost = [pid for pid, task in kernel.tasks.items()
             if task.state is not TaskState.DEAD]
     violations = check_kernel_state(kernel)
-    boundary = shim.containment
+    boundary = session.shim.containment
     report = boundary.failover_report
     return {
         "fired": sum(injector.summary().values()),
@@ -367,7 +352,64 @@ def cmd_fuzz(args):
     return 0
 
 
+def _metric_headline(metrics):
+    """The one number worth a table cell, per workload."""
+    for key, fmt in (("latency_us_per_message", "{:.2f} us/msg"),
+                     ("p99_us", "p99 {:.1f} us"),
+                     ("max_finish_ns", "max finish {:.3f} s"),
+                     ("elapsed_ns", "{:.1f} ms")):
+        if key in metrics:
+            value = metrics[key]
+            if key in ("max_finish_ns",):
+                value = value / 1e9
+            elif key == "elapsed_ns":
+                value = value / 1e6
+            return fmt.format(value)
+    return "-"
+
+
+def cmd_bench(args):
+    from repro.exp.bench import (default_specs, run_simperf, run_sweep,
+                                 smoke_specs)
+
+    if args.simperf:
+        entry = run_simperf(args.simperf_out, rounds=args.rounds)
+        print(f"simperf: {entry['sim_ns_per_wall_s']:,.0f} simulated "
+              f"ns per wall second (pipe, {entry['rounds']} rounds, "
+              f"best of {entry['repeats']})")
+        print(f"appended to {args.simperf_out}")
+        return 0
+
+    specs = (smoke_specs(args.seed) if args.smoke
+             else default_specs(args.seed))
+    name = args.name if args.name else ("smoke" if args.smoke else "sweep")
+    payload = run_sweep(specs, name, workers=args.workers,
+                        cache_dir=args.cache_dir, out_dir=args.out_dir,
+                        use_cache=not args.no_cache)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [[r["name"], r["spec"]["sched"], r["spec"]["workload"],
+             _metric_headline(r["metrics"]),
+             f"{r['metrics'].get('simulated_ns', 0) / 1e6:.1f}"]
+            for r in payload["results"]]
+    print(render_table(
+        f"bench sweep '{name}' ({len(specs)} scenarios, "
+        f"{args.workers} workers)",
+        ["scenario", "sched", "workload", "headline", "sim ms"], rows))
+    meta = payload["meta"]
+    rate = meta["sim_ns_per_wall_s"]
+    print(f"wall {meta['wall_s']:.2f}s, {meta['cache_hits']} cached / "
+          f"{meta['executed']} executed"
+          + (f", {rate:,.0f} sim-ns per wall-second" if rate else ""))
+    print(f"wrote BENCH_{name}.json")
+    return 0
+
+
 EXPERIMENTS = {
+    "bench": (cmd_bench, "parallel sharded benchmark runner: sweep "
+                         "ScenarioSpecs over a process pool with "
+                         "spec-hash caching"),
     "pipe": (cmd_pipe, "Table 3 quick run: sched-pipe CFS vs Enoki WFQ"),
     "schbench": (cmd_schbench, "Table 4 quick run: schbench latencies"),
     "rocksdb": (cmd_rocksdb, "Figure 2 quick run: dispersed load"),
@@ -448,6 +490,29 @@ def main(argv=None):
     # Test-only: plant a known defect so the suite can prove the
     # sanitizers catch it (see tests/test_cli.py).
     p.add_argument("--bug", default="", help=argparse.SUPPRESS)
+
+    p = sub.add_parser("bench", help=EXPERIMENTS["bench"][1])
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny CI-sized sweep instead of the full grid")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size; results are identical at "
+                        "any worker count")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; per-spec seeds are derived from it")
+    p.add_argument("--name", default="",
+                   help="payload name (writes BENCH_<name>.json)")
+    p.add_argument("--out-dir", default=".")
+    p.add_argument("--cache-dir", default=".bench-cache")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always re-simulate, ignore cached results")
+    p.add_argument("--json", action="store_true",
+                   help="print the full payload instead of the table")
+    p.add_argument("--simperf", action="store_true",
+                   help="measure simulator speed (sim-ns per wall-second) "
+                        "and append to BENCH_simperf.json")
+    p.add_argument("--simperf-out", default="BENCH_simperf.json")
+    p.add_argument("--rounds", type=int, default=2000,
+                   help="pipe rounds for --simperf")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

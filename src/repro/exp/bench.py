@@ -1,0 +1,402 @@
+"""``repro bench``: a parallel, sharded, cached benchmark runner.
+
+The runner turns a list of :class:`~repro.exp.spec.ScenarioSpec` into a
+``BENCH_<name>.json`` trajectory:
+
+* **Sharding** — specs are dealt round-robin into one shard per worker
+  and executed on a ``multiprocessing`` pool.  Every spec carries its own
+  deterministically derived seed (:func:`derive_seed`), so results are
+  bit-identical regardless of worker count or shard assignment; the
+  payload is reassembled in spec order before writing.
+* **Caching** — results are keyed by ``spec_hash + git rev`` under
+  ``.bench-cache/``; re-running a sweep on an unchanged tree replays from
+  cache and must produce a byte-identical deterministic payload (CI's
+  ``bench-smoke`` job enforces exactly that).
+* **Self-measurement** — the sweep records the simulator's own speed
+  (simulated nanoseconds per wall-clock second) so optimisation PRs have
+  a trajectory to beat; :func:`run_simperf` appends the same metric to
+  ``BENCH_simperf.json``.
+
+Wall-clock and timestamp fields are volatile by nature and are kept in
+the payload's ``meta`` section; everything outside ``meta`` is
+deterministic.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import subprocess
+import time
+
+from repro.exp.builder import KernelBuilder
+from repro.exp.spec import ScenarioSpec
+from repro.simkernel.errors import SimError
+
+#: payload marker for BENCH trajectory files
+TRAJECTORY_KIND = "repro.bench trajectory"
+SIMPERF_KIND = "repro.bench simperf trajectory"
+
+DEFAULT_CACHE_DIR = ".bench-cache"
+
+
+def derive_seed(master_seed, index):
+    """Deterministic per-spec seed: stable across runs, shard layouts,
+    and worker counts."""
+    digest = hashlib.sha256(f"{master_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def git_rev():
+    """The tree's commit hash, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip()
+
+
+# ----------------------------------------------------------------------
+# workload execution (runs inside worker processes)
+# ----------------------------------------------------------------------
+
+def _wl_pipe(session, opts):
+    from repro.workloads.pipe_bench import run_pipe_benchmark
+    result = run_pipe_benchmark(session.kernel, session.policy, **opts)
+    return {
+        "latency_us_per_message": result.latency_us_per_message,
+        "rounds": result.rounds,
+        "measured_ns": result.measured_ns,
+    }
+
+
+def _wl_schbench(session, opts):
+    from repro.workloads.schbench import run_schbench
+    result = run_schbench(session.kernel, session.policy, **opts)
+    return {
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "samples": len(result.samples_us),
+    }
+
+
+def _wl_fairness(session, opts):
+    from repro.workloads.fairness import run_fair_share
+    result = run_fair_share(session.kernel, session.policy, **opts)
+    finish = result.finish_times_ns
+    return {
+        "max_finish_ns": max(finish.values()),
+        "min_finish_ns": min(finish.values()),
+        "tasks": len(finish),
+    }
+
+
+def _wl_hackbench(session, opts):
+    from repro.workloads.hackbench import run_hackbench
+    result = run_hackbench(session.kernel, session.policy, **opts)
+    return {"elapsed_ns": result.elapsed_ns,
+            "total_messages": result.total_messages}
+
+
+WORKLOADS = {
+    "pipe": _wl_pipe,
+    "schbench": _wl_schbench,
+    "fairness": _wl_fairness,
+    "hackbench": _wl_hackbench,
+}
+
+
+def run_spec(spec):
+    """Execute one scenario start-to-finish; returns a deterministic
+    metrics dict (no wall-clock values)."""
+    if isinstance(spec, dict):
+        spec = ScenarioSpec.from_dict(spec)
+    runner = WORKLOADS.get(spec.workload)
+    if runner is None:
+        raise SimError(f"unknown bench workload {spec.workload!r}")
+    session = KernelBuilder.session_from_spec(spec)
+    metrics = runner(session, dict(spec.workload_options))
+    session.stop()
+    metrics["simulated_ns"] = session.kernel.now
+    metrics["total_wakeups"] = session.kernel.stats.total_wakeups
+    metrics["total_migrations"] = session.kernel.stats.total_migrations
+    return metrics
+
+
+def _run_shard(shard):
+    """Worker entry: run a shard's specs sequentially.
+
+    Returns ``(results, wall_s, simulated_ns)`` where ``results`` maps
+    spec hash -> metrics.  Wall time is per-shard so the parent can
+    report the simulator's own speed.
+    """
+    start = time.perf_counter()
+    results = {}
+    simulated = 0
+    for spec_dict in shard:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        metrics = run_spec(spec)
+        results[spec.spec_hash()] = metrics
+        simulated += metrics.get("simulated_ns", 0)
+    return results, time.perf_counter() - start, simulated
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+
+class BenchCache:
+    """Result store keyed by (git rev, spec hash)."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR, rev="unknown"):
+        self.root = root
+        self.rev = rev
+
+    def _path(self, spec_hash):
+        return os.path.join(self.root,
+                            f"{self.rev[:12]}-{spec_hash[:24]}.json")
+
+    def get(self, spec_hash):
+        path = self._path(spec_hash)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("spec_hash") != spec_hash or entry.get("rev") != self.rev:
+            return None
+        return entry.get("metrics")
+
+    def put(self, spec_hash, spec_dict, metrics):
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(spec_hash)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump({"rev": self.rev, "spec_hash": spec_hash,
+                       "spec": spec_dict, "metrics": metrics}, handle)
+        os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# the sweep runner
+# ----------------------------------------------------------------------
+
+def run_sweep(specs, name, workers=1, cache_dir=DEFAULT_CACHE_DIR,
+              out_dir=".", use_cache=True, rev=None, progress=None):
+    """Run a sweep of specs, sharded over ``workers`` processes.
+
+    Writes ``BENCH_<name>.json`` into ``out_dir`` and returns the payload.
+    Everything outside the payload's ``meta`` key is deterministic for a
+    given (specs, git rev) pair — byte-identical across repeat runs, with
+    or without cache hits, at any worker count.
+    """
+    start = time.perf_counter()
+    specs = [ScenarioSpec.from_dict(s) if isinstance(s, dict) else s
+             for s in specs]
+    rev = rev if rev is not None else git_rev()
+    cache = BenchCache(cache_dir, rev) if use_cache else None
+
+    hashes = [spec.spec_hash() for spec in specs]
+    metrics_by_hash = {}
+    cache_hits = 0
+    pending = []
+    for spec, spec_hash in zip(specs, hashes):
+        cached = cache.get(spec_hash) if cache is not None else None
+        if cached is not None:
+            metrics_by_hash[spec_hash] = cached
+            cache_hits += 1
+        else:
+            pending.append(spec)
+
+    shard_wall = []
+    simulated_total = 0
+    if pending:
+        shards = [[s.to_dict() for s in pending[i::workers]]
+                  for i in range(max(1, workers))]
+        shards = [shard for shard in shards if shard]
+        if workers > 1 and len(shards) > 1:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=len(shards)) as pool:
+                shard_results = pool.map(_run_shard, shards)
+        else:
+            shard_results = [_run_shard(shard) for shard in shards]
+        for results, wall_s, simulated in shard_results:
+            metrics_by_hash.update(results)
+            shard_wall.append(wall_s)
+            simulated_total += simulated
+        if cache is not None:
+            for spec in pending:
+                spec_hash = spec.spec_hash()
+                cache.put(spec_hash, spec.to_dict(),
+                          metrics_by_hash[spec_hash])
+
+    results = []
+    for spec, spec_hash in zip(specs, hashes):
+        results.append({
+            "name": spec.name,
+            "spec_hash": spec_hash,
+            "spec": spec.to_dict(),
+            "metrics": metrics_by_hash[spec_hash],
+        })
+        if progress is not None:
+            progress(spec, metrics_by_hash[spec_hash])
+
+    wall_s = time.perf_counter() - start
+    payload = {
+        "kind": TRAJECTORY_KIND,
+        "name": name,
+        "git_rev": rev,
+        "specs": len(specs),
+        "results": results,
+        # Volatile fields live under "meta": strip it before comparing
+        # two runs for determinism.
+        "meta": {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                          time.gmtime()),
+            "wall_s": wall_s,
+            "workers": workers,
+            "cache_hits": cache_hits,
+            "executed": len(pending),
+            "shard_wall_s": shard_wall,
+            "sim_ns_executed": simulated_total,
+            "sim_ns_per_wall_s": (simulated_total / sum(shard_wall)
+                                  if shard_wall and sum(shard_wall) > 0
+                                  else None),
+        },
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def deterministic_payload(payload):
+    """The payload minus its volatile ``meta`` section — the part that
+    must be byte-identical across identical runs."""
+    return {key: value for key, value in payload.items() if key != "meta"}
+
+
+# ----------------------------------------------------------------------
+# sweep definitions
+# ----------------------------------------------------------------------
+
+def pipe_sweep(rounds=1500, seed=0, schedulers=("cfs", "wfq"),
+               name_prefix="pipe"):
+    """The Table 3 grid: schedulers x {one core, two cores}."""
+    specs = []
+    index = 0
+    for sched in schedulers:
+        for label, same_core in (("one-core", True), ("two-cores", False)):
+            specs.append(ScenarioSpec(
+                name=f"{name_prefix}-{sched}-{label}",
+                sched=sched,
+                seed=derive_seed(seed, index),
+                workload="pipe",
+                workload_options={"rounds": rounds, "same_core": same_core},
+            ))
+            index += 1
+    return specs
+
+
+def smoke_specs(seed=0):
+    """The tiny sweep behind ``repro bench --smoke``: small enough for CI,
+    wide enough to cross schedulers, topologies, and workloads."""
+    specs = pipe_sweep(rounds=150, seed=seed, schedulers=("cfs", "wfq"),
+                       name_prefix="smoke-pipe")
+    specs.append(ScenarioSpec(
+        name="smoke-pipe-eevdf", sched="eevdf",
+        seed=derive_seed(seed, 100),
+        workload="pipe", workload_options={"rounds": 100}))
+    specs.append(ScenarioSpec(
+        name="smoke-fair-wfq", sched="wfq", topology="smp:4",
+        seed=derive_seed(seed, 101),
+        workload="fairness",
+        workload_options={"tasks": 4, "work_ns": 20_000_000}))
+    return specs
+
+
+def default_specs(seed=0):
+    """The standard sweep behind plain ``repro bench``."""
+    specs = pipe_sweep(rounds=1500, seed=seed,
+                       schedulers=("cfs", "wfq", "fifo", "eevdf"))
+    specs.append(ScenarioSpec(
+        name="schbench-cfs", sched="cfs",
+        seed=derive_seed(seed, 200), workload="schbench",
+        workload_options={"message_threads": 2, "workers_per_thread": 2,
+                          "warmup_ns": 50_000_000,
+                          "duration_ns": 200_000_000}))
+    specs.append(ScenarioSpec(
+        name="schbench-wfq", sched="wfq",
+        seed=derive_seed(seed, 201), workload="schbench",
+        workload_options={"message_threads": 2, "workers_per_thread": 2,
+                          "warmup_ns": 50_000_000,
+                          "duration_ns": 200_000_000}))
+    specs.append(ScenarioSpec(
+        name="fairness-cfs", sched="cfs",
+        seed=derive_seed(seed, 202), workload="fairness",
+        workload_options={"work_ns": 100_000_000}))
+    specs.append(ScenarioSpec(
+        name="fairness-wfq", sched="wfq",
+        seed=derive_seed(seed, 203), workload="fairness",
+        workload_options={"work_ns": 100_000_000}))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# simulator self-benchmark
+# ----------------------------------------------------------------------
+
+def run_simperf(path="BENCH_simperf.json", rounds=2000, repeats=3,
+                rev=None):
+    """Measure the simulator itself — simulated ns per wall second on the
+    pipe workload — and append the entry to the ``path`` trajectory.
+
+    This is the number future optimisation PRs must move: it captures how
+    fast the discrete-event core interprets the hottest op mix (pipe
+    wakeups + dispatches) on this machine.
+    """
+    rev = rev if rev is not None else git_rev()
+    spec = ScenarioSpec(
+        name="simperf-pipe", sched="wfq", seed=derive_seed(0, 0),
+        workload="pipe", workload_options={"rounds": rounds})
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        metrics = run_spec(spec)
+        wall = time.perf_counter() - start
+        rate = metrics["simulated_ns"] / wall if wall > 0 else 0.0
+        if best is None or rate > best["sim_ns_per_wall_s"]:
+            best = {
+                "sim_ns_per_wall_s": rate,
+                "wall_s": wall,
+                "simulated_ns": metrics["simulated_ns"],
+                "latency_us_per_message":
+                    metrics["latency_us_per_message"],
+            }
+    entry = {
+        "git_rev": rev,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": "pipe",
+        "rounds": rounds,
+        "repeats": repeats,
+        **best,
+    }
+    trajectory = {"kind": SIMPERF_KIND, "entries": []}
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+        if existing.get("kind") == SIMPERF_KIND:
+            trajectory = existing
+    except (OSError, ValueError):
+        pass
+    trajectory["entries"].append(entry)
+    with open(path, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    return entry

@@ -1,0 +1,325 @@
+"""The single kernel-construction path: ``KernelBuilder`` -> ``Session``.
+
+Before this layer existed, kernel assembly (topology + cost model + the
+scheduler-class stack + recorder/fault/upgrade wiring) was copy-pasted
+across the CLI, the benchmark suite, the fuzzer, and test fixtures.  The
+builder replaces all of those: describe the stack once — either
+imperatively (``with_native`` / ``with_enoki`` / ``with_ghost``) or
+declaratively from a :class:`~repro.exp.spec.ScenarioSpec` — and
+:meth:`KernelBuilder.build` returns a :class:`Session` holding the live
+kernel plus the handles every harness needs (the shim, the policy under
+test, a fresh-scheduler factory for live upgrades).
+"""
+
+from repro.exp.spec import ScenarioSpec, parse_topology
+from repro.simkernel import Kernel, SimConfig
+from repro.simkernel.errors import SimError
+
+#: native scheduler classes, by short name -> factory(policy, options)
+_NATIVE_FACTORIES = {}
+
+#: Enoki scheduler library modules, by short name -> factory(nr, policy, options)
+_ENOKI_FACTORIES = {}
+
+
+def _native_factories():
+    if not _NATIVE_FACTORIES:
+        from repro.schedulers.cfs import CfsSchedClass
+        from repro.schedulers.fifo_native import NativeFifoClass
+        _NATIVE_FACTORIES.update({
+            "cfs": lambda policy, opts: CfsSchedClass(policy=policy, **opts),
+            "fifo_native": lambda policy, opts: NativeFifoClass(
+                policy=policy, **opts),
+        })
+    return _NATIVE_FACTORIES
+
+
+def _enoki_factories():
+    if not _ENOKI_FACTORIES:
+        from repro.schedulers.eevdf import EnokiEevdf
+        from repro.schedulers.fifo import EnokiFifo
+        from repro.schedulers.locality import EnokiLocality
+        from repro.schedulers.shinjuku import EnokiShinjuku
+        from repro.schedulers.wfq import EnokiWfq
+        _ENOKI_FACTORIES.update({
+            "wfq": lambda nr, policy, opts: EnokiWfq(nr, policy, **opts),
+            "fifo": lambda nr, policy, opts: EnokiFifo(nr, policy, **opts),
+            "eevdf": lambda nr, policy, opts: EnokiEevdf(nr, policy, **opts),
+            "shinjuku": lambda nr, policy, opts: EnokiShinjuku(
+                nr, policy, **opts),
+            "locality": lambda nr, policy, opts: EnokiLocality(
+                nr, policy, **opts),
+        })
+    return _ENOKI_FACTORIES
+
+
+def enoki_scheduler_names():
+    """Short names accepted by :meth:`KernelBuilder.with_enoki`."""
+    return sorted(_enoki_factories())
+
+
+class Session:
+    """A built kernel plus the handles experiment harnesses need.
+
+    ``kernel`` is the live machine; ``policy`` is the policy number of the
+    scheduler under test (what workloads should spawn tasks under);
+    ``shim`` is the Enoki adapter when one was registered (None for pure
+    native stacks); ``scheduler_factory`` builds a fresh instance of the
+    scheduler under test — the live-upgrade and replay paths need one.
+    """
+
+    def __init__(self, kernel, policy, shim=None, scheduler_factory=None,
+                 spec=None):
+        self.kernel = kernel
+        self.policy = policy
+        self.shim = shim
+        self.scheduler_factory = scheduler_factory
+        self.spec = spec
+        self.observer = None
+        self.injector = None
+        self.watchdog = None
+        self.upgrades = None
+
+    # -- conveniences over the kernel ----------------------------------
+
+    def spawn(self, prog, **kwargs):
+        kwargs.setdefault("policy", self.policy)
+        return self.kernel.spawn(prog, **kwargs)
+
+    def run_until_idle(self, max_events=None):
+        return self.kernel.run_until_idle(max_events)
+
+    def sched_class(self, policy=None):
+        """The registered class instance serving ``policy`` (default: the
+        scheduler under test)."""
+        policy = self.policy if policy is None else policy
+        return self.kernel._class_by_policy[policy]
+
+    # -- optional machinery, attached post-build -----------------------
+
+    def attach_observer(self, capacity=200_000, kinds=None):
+        from repro.obs import Observer
+        self.observer = Observer.attach(self.kernel, capacity=capacity,
+                                        kinds=kinds)
+        return self.observer
+
+    def attach_sanitizers(self):
+        from repro.verify.sanitizers import SanitizerSuite
+        return SanitizerSuite.attach(self.kernel)
+
+    def install_faults(self, plan, fallback_policy=0,
+                       watchdog_period_ns=None, lost_task_ns=None):
+        """Wire the full containment stack the chaos/fuzz harnesses use:
+        injector on the shim, containment boundary with a native fallback,
+        and a watchdog escalating lost tasks into failover."""
+        from repro.core import SchedulerWatchdog
+        from repro.simkernel.clock import usecs
+        if self.shim is None:
+            raise SimError("fault injection needs an Enoki shim")
+        self.injector = self.shim.install_faults(plan)
+        self.shim.configure_containment(fallback_policy=fallback_policy)
+        self.watchdog = SchedulerWatchdog(
+            self.kernel, self.policy,
+            period_ns=(watchdog_period_ns if watchdog_period_ns is not None
+                       else usecs(200)),
+            lost_task_ns=(lost_task_ns if lost_task_ns is not None
+                          else usecs(5_000)),
+            escalate=self.shim.containment,
+            escalate_kinds=("lost_task",))
+        return self.injector
+
+    def schedule_upgrade(self, at_ns, factory=None):
+        """Schedule a live upgrade to a fresh scheduler instance."""
+        from repro.core import UpgradeManager
+        if self.shim is None:
+            raise SimError("live upgrade needs an Enoki shim")
+        factory = factory if factory is not None else self.scheduler_factory
+        if factory is None:
+            raise SimError("no scheduler factory to upgrade to")
+        if self.upgrades is None:
+            self.upgrades = UpgradeManager(self.kernel, self.shim)
+        self.upgrades.schedule_upgrade(factory, at_ns=at_ns)
+        return self.upgrades
+
+    def stop(self):
+        """Tear down attached machinery (watchdog timers etc.)."""
+        if self.watchdog is not None:
+            self.watchdog.stop()
+
+
+class KernelBuilder:
+    """Composable kernel assembly; every construction site goes through
+    here (CLI, benches, fuzzer, tests)."""
+
+    def __init__(self, topology=None, config=None, seed=None):
+        self._topology = topology
+        self._config = config
+        self._config_overrides = {}
+        self._seed = seed
+        self._registrations = []      # thunk(kernel) -> (kind, policy, ...)
+        self._policy = None           # policy under test
+        self._shim_slot = {}          # filled at build time
+        self._spec = None
+
+    # -- configuration --------------------------------------------------
+
+    def with_topology(self, topology):
+        """``Topology`` instance or compact string ("small8", "smp:4")."""
+        self._topology = topology
+        return self
+
+    def with_config(self, config=None, **overrides):
+        if config is not None:
+            self._config = config
+        self._config_overrides.update(overrides)
+        return self
+
+    def with_seed(self, seed):
+        """Seed the kernel's deterministic jitter RNG (``SimConfig.seed``)."""
+        self._seed = seed
+        return self
+
+    # -- scheduler stack -------------------------------------------------
+
+    def with_native(self, name="cfs", policy=0, priority=5, **options):
+        """Register a trusted native class (``cfs`` or ``fifo_native``)."""
+        factories = _native_factories()
+        if name not in factories:
+            raise SimError(f"unknown native scheduler {name!r}")
+
+        def register(kernel):
+            kernel.register_sched_class(factories[name](policy, options),
+                                        priority=priority)
+        self._registrations.append(register)
+        if self._policy is None:
+            self._policy = policy
+        return self
+
+    def with_enoki(self, name, policy=7, priority=10, recorder=None,
+                   **options):
+        """Register an Enoki scheduler behind the checked shim; it becomes
+        the scheduler under test (``session.policy``)."""
+        factories = _enoki_factories()
+        if name not in factories:
+            raise SimError(f"unknown Enoki scheduler {name!r}")
+
+        def register(kernel):
+            from repro.core import EnokiSchedClass
+            nr = kernel.topology.nr_cpus
+            shim = EnokiSchedClass.register(
+                kernel, factories[name](nr, policy, options), policy,
+                priority=priority, recorder=recorder)
+            self._shim_slot["shim"] = shim
+            self._shim_slot["factory"] = (
+                lambda: factories[name](nr, policy, options))
+        self._registrations.append(register)
+        self._policy = policy
+        return self
+
+    def with_scheduler(self, sched_class, priority=10, under_test=True):
+        """Register an already-built :class:`SchedClass` instance."""
+        def register(kernel):
+            kernel.register_sched_class(sched_class, priority=priority)
+        self._registrations.append(register)
+        if under_test or self._policy is None:
+            self._policy = sched_class.policy
+        return self
+
+    def with_ghost(self, variant="sol", managed_cpus=None, agent_cpu=None,
+                   **options):
+        """Install a ghOSt comparison stack (sol / percpu_fifo / shinjuku)."""
+        def register(kernel):
+            from repro.schedulers.ghost import (
+                GHOST_POLICY,
+                install_ghost_percpu_fifo,
+                install_ghost_shinjuku,
+                install_ghost_sol,
+            )
+            nr = kernel.topology.nr_cpus
+            if variant == "sol":
+                managed = (list(managed_cpus) if managed_cpus is not None
+                           else list(range(nr - 1)))
+                agent = agent_cpu if agent_cpu is not None else nr - 1
+                install_ghost_sol(kernel, managed_cpus=managed,
+                                  agent_cpu=agent, **options)
+            elif variant == "percpu_fifo":
+                managed = (list(managed_cpus) if managed_cpus is not None
+                           else list(range(nr)))
+                install_ghost_percpu_fifo(kernel, managed_cpus=managed,
+                                          **options)
+            elif variant == "shinjuku":
+                managed = (list(managed_cpus) if managed_cpus is not None
+                           else [3, 4, 5, 6, 7])
+                agent = agent_cpu if agent_cpu is not None else 2
+                install_ghost_shinjuku(kernel, managed_cpus=managed,
+                                       agent_cpu=agent, **options)
+            else:
+                raise SimError(f"unknown ghOSt variant {variant!r}")
+            self._policy = GHOST_POLICY
+        self._registrations.append(register)
+        return self
+
+    # -- build ------------------------------------------------------------
+
+    def build(self):
+        """Assemble the kernel and return a :class:`Session`."""
+        topology = (parse_topology(self._topology)
+                    if self._topology is not None else None)
+        config = self._config if self._config is not None else SimConfig()
+        overrides = dict(self._config_overrides)
+        if self._seed is not None:
+            overrides["seed"] = self._seed
+        if overrides:
+            config = config.scaled(**overrides)
+        kernel = Kernel(topology, config)
+        self._shim_slot.clear()
+        for register in self._registrations:
+            register(kernel)
+        policy = self._policy if self._policy is not None else 0
+        return Session(
+            kernel, policy,
+            shim=self._shim_slot.get("shim"),
+            scheduler_factory=self._shim_slot.get("factory"),
+            spec=self._spec,
+        )
+
+    # -- declarative construction ----------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec, recorder=None):
+        """Translate a :class:`~repro.exp.spec.ScenarioSpec` into a
+        configured builder (call :meth:`build` on the result)."""
+        if isinstance(spec, dict):
+            spec = ScenarioSpec.from_dict(spec)
+        builder = cls(topology=spec.topology, seed=spec.seed)
+        builder._spec = spec
+        if spec.config:
+            builder.with_config(**spec.config)
+        if spec.sched in _native_factories() or spec.sched == "cfs":
+            # Pure native stack: the scheduler under test is the base.
+            builder.with_native(spec.sched, policy=0, priority=10,
+                                **spec.sched_options)
+            return builder
+        builder.with_native(spec.base_sched, policy=0, priority=5)
+        if spec.sched.startswith("ghost_"):
+            builder.with_ghost(spec.sched[len("ghost_"):],
+                               **spec.sched_options)
+        else:
+            builder.with_enoki(spec.sched, policy=spec.policy, priority=10,
+                               recorder=recorder, **spec.sched_options)
+        return builder
+
+    @classmethod
+    def session_from_spec(cls, spec, recorder=None):
+        """One-shot: spec -> built :class:`Session`, with the spec's fault
+        plan and upgrade plan already wired."""
+        builder = cls.from_spec(spec, recorder=recorder)
+        session = builder.build()
+        if isinstance(spec, dict):
+            spec = ScenarioSpec.from_dict(spec)
+        if spec.fault_plan is not None:
+            from repro.core import FaultPlan
+            session.install_faults(FaultPlan.from_dict(spec.fault_plan))
+        if spec.upgrade_at_ns:
+            session.schedule_upgrade(spec.upgrade_at_ns)
+        return session

@@ -1,0 +1,108 @@
+"""Declarative experiment scenarios: everything a run needs, as data.
+
+A :class:`ScenarioSpec` captures one complete simulated-machine
+configuration — topology, cost-model overrides, seed, scheduler stack,
+workload, fault plan, upgrade plan — as a JSON-serialisable value.  Specs
+are the currency of the ``repro.exp`` layer: the
+:class:`~repro.exp.builder.KernelBuilder` turns one into a live kernel
+session, and the sharded benchmark runner (:mod:`repro.exp.bench`) keys
+its result cache on :meth:`ScenarioSpec.spec_hash`, so identical scenarios
+are never simulated twice for the same tree.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.simkernel.errors import SimError
+from repro.simkernel.topology import Topology
+
+
+def parse_topology(desc):
+    """Build a :class:`Topology` from its compact string form.
+
+    ``"small8"`` / ``"big80"`` name the paper's two testbeds;
+    ``"smp:N[:sockets[:smt]]"`` builds a symmetric machine, e.g.
+    ``"smp:8:2:2"`` is 8 logical CPUs over 2 sockets with SMT.
+    """
+    if isinstance(desc, Topology):
+        return desc
+    if desc == "small8":
+        return Topology.small8()
+    if desc == "big80":
+        return Topology.big80()
+    if isinstance(desc, str) and desc.startswith("smp:"):
+        parts = desc.split(":")[1:]
+        if not 1 <= len(parts) <= 3:
+            raise SimError(f"bad topology spec {desc!r}")
+        nums = [int(p) for p in parts]
+        nr_cpus = nums[0]
+        sockets = nums[1] if len(nums) > 1 else 1
+        smt = nums[2] if len(nums) > 2 else 1
+        return Topology.smp(nr_cpus, sockets=sockets, smt=smt)
+    raise SimError(f"unknown topology spec {desc!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described experiment scenario.
+
+    Every field is plain data so the spec round-trips through JSON
+    (:meth:`to_dict` / :meth:`from_dict`) and hashes stably
+    (:meth:`spec_hash`).  ``seed`` feeds the kernel's deterministic jitter
+    RNG (``SimConfig.seed``); two runs of the same spec are bit-identical.
+    """
+
+    name: str = ""
+    topology: str = "small8"
+    seed: int = 0
+    config: dict = field(default_factory=dict)      # SimConfig overrides
+    sched: str = "cfs"                              # scheduler under test
+    sched_options: dict = field(default_factory=dict)
+    base_sched: str = "cfs"                         # native default class
+    policy: int = 7                                 # Enoki policy number
+    workload: str = "pipe"
+    workload_options: dict = field(default_factory=dict)
+    fault_plan: dict = None                         # FaultPlan.to_dict()
+    upgrade_at_ns: int = 0                          # 0 = no live upgrade
+    record: bool = False
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "topology": self.topology,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "sched": self.sched,
+            "sched_options": dict(self.sched_options),
+            "base_sched": self.base_sched,
+            "policy": self.policy,
+            "workload": self.workload,
+            "workload_options": dict(self.workload_options),
+            "fault_plan": self.fault_plan,
+            "upgrade_at_ns": self.upgrade_at_ns,
+            "record": self.record,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {f: data[f] for f in (
+            "name", "topology", "seed", "config", "sched", "sched_options",
+            "base_sched", "policy", "workload", "workload_options",
+            "fault_plan", "upgrade_at_ns", "record") if f in data}
+        return cls(**known)
+
+    def with_seed(self, seed):
+        return replace(self, seed=seed)
+
+    def canonical_json(self):
+        """The spec as minified JSON with sorted keys — the hash input."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def spec_hash(self):
+        """Stable content hash; the bench runner's cache key component."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def build_topology(self):
+        return parse_topology(self.topology)

@@ -17,10 +17,14 @@ Public entry points:
 
 from repro.simkernel.clock import Clock
 from repro.simkernel.config import SimConfig
+from repro.simkernel.dispatch import DispatchEngine
 from repro.simkernel.errors import SimError, SchedulingError
 from repro.simkernel.events import EventQueue
 from repro.simkernel.futex import Futex
+from repro.simkernel.interp import OpInterpreter
 from repro.simkernel.kernel import Kernel
+from repro.simkernel.lifecycle import LifecycleManager
+from repro.simkernel.migration import MigrationService
 from repro.simkernel.pipe import Pipe
 from repro.simkernel.program import (
     Call,
@@ -49,12 +53,16 @@ from repro.simkernel.tracing import SchedTracer
 __all__ = [
     "Call",
     "Clock",
+    "DispatchEngine",
     "EventQueue",
     "Exit",
     "Futex",
     "FutexWait",
     "FutexWake",
     "Kernel",
+    "LifecycleManager",
+    "MigrationService",
+    "OpInterpreter",
     "Pipe",
     "PipeRead",
     "PipeWrite",

@@ -1,0 +1,270 @@
+"""The core schedule() path: balance -> pick_next_task -> dispatch.
+
+One of the four kernel-core subsystems (see :mod:`repro.simkernel.kernel`
+for the facade): this one owns reschedule requests, preemption, voluntary
+descheduling (block / yield / exit), the class-stack pick walk the paper
+describes in section 3.1, the periodic tick, and runtime accounting
+(``update_curr``).
+"""
+
+from repro.simkernel.errors import SchedulingError, SimError
+from repro.simkernel.task import TaskState
+
+#: dispositions a current task leaves its CPU with
+BLOCK = "block"
+YIELD = "yield"
+EXIT = "exit"
+
+
+class DispatchEngine:
+    """Schedule-path logic over the kernel's shared state."""
+
+    def __init__(self, kernel):
+        self.k = kernel
+        self._tick_timers = [None] * kernel.topology.nr_cpus
+
+    # ------------------------------------------------------------------
+    # reschedule requests
+    # ------------------------------------------------------------------
+
+    def resched_cpu(self, cpu, when="now"):
+        """Request a reschedule of ``cpu`` (used by scheduler classes)."""
+        k = self.k
+        rq = k.rqs[cpu]
+        rq.need_resched = True
+        if when == "now":
+            k.events.after(0, self.reschedule, cpu)
+
+    def reschedule(self, cpu):
+        """Honor a pending resched request if the CPU can act on it."""
+        k = self.k
+        rq = k.rqs[cpu]
+        if not rq.need_resched:
+            return
+        cur = rq.current
+        if cur is None:
+            rq.need_resched = False
+            self.pick_and_switch(cpu, prev=None)
+            return
+        if getattr(cur, "_in_syscall", False):
+            return  # honored at the op boundary
+        if cur.state != TaskState.RUNNING:
+            return
+        if cur.exec_start_ns > k.now:
+            # Mid-context-switch: interrupts are effectively off until the
+            # dispatch completes.  Re-deliver just after the task actually
+            # starts — without this, a preemption timer shorter than the
+            # dispatch cost livelocks the CPU (no task ever runs).
+            k.events.at(
+                cur.exec_start_ns + k.config.timer_min_delay_ns,
+                self.reschedule, cpu,
+            )
+            return
+        rq.need_resched = False
+        self.preempt_current(cpu)
+
+    def preempt_current(self, cpu):
+        k = self.k
+        rq = k.rqs[cpu]
+        prev = rq.current
+        self.update_curr(cpu)
+        k.interp.pause_run_segment(prev)
+        prev.run_epoch += 1
+        prev.set_state(TaskState.RUNNABLE)
+        prev.stats.preemptions += 1
+        rq.current = None
+        prev.on_rq = False
+        k._attach_runnable(prev, cpu)
+        cls = k.class_of(prev)
+        cls.task_preempt(prev, cpu)
+        if k.trace is not None:
+            k.trace("preempt", t=k.now, cpu=cpu, pid=prev.pid)
+        self.pick_and_switch(
+            cpu, prev=prev,
+            base_cost=cls.invocation_cost_ns("task_preempt"),
+        )
+
+    def deschedule_current(self, cpu, disposition):
+        """The current task leaves the CPU voluntarily."""
+        k = self.k
+        rq = k.rqs[cpu]
+        prev = rq.current
+        if prev is None:
+            raise SchedulingError(f"deschedule on idle cpu {cpu}")
+        self.update_curr(cpu)
+        prev.run_epoch += 1
+        rq.current = None
+        prev.on_rq = False
+        cls = k.class_of(prev)
+        if disposition == BLOCK:
+            prev.set_state(TaskState.BLOCKED)
+            prev.stats.blocked_count += 1
+            cls.task_blocked(prev, cpu)
+            hook = "task_blocked"
+        elif disposition == YIELD:
+            prev.set_state(TaskState.RUNNABLE)
+            prev.stats.yields += 1
+            k._attach_runnable(prev, cpu)
+            cls.task_yield(prev, cpu)
+            hook = "task_yield"
+        elif disposition == EXIT:
+            prev.set_state(TaskState.DEAD)
+            prev.stats.finished_ns = k.now
+            cls.task_dead(prev.pid)
+            hook = "task_dead"
+            k.lifecycle.notify_exit(prev)
+        else:
+            raise SimError(f"unknown disposition {disposition}")
+        self.pick_and_switch(cpu, prev=prev,
+                             base_cost=cls.invocation_cost_ns(hook))
+
+    # ------------------------------------------------------------------
+    # the pick walk (section 3.1)
+    # ------------------------------------------------------------------
+
+    def pick_and_switch(self, cpu, prev, base_cost=0):
+        """balance -> pick_next_task over the class stack, then dispatch."""
+        k = self.k
+        rq = k.rqs[cpu]
+        if rq.current is not None:
+            raise SchedulingError(f"pick on busy cpu {cpu}")
+        cost = base_cost
+        chosen = None
+        for _prio, cls in k._classes:
+            cost += cls.invocation_cost_ns("balance")
+            pulled = cls.balance(cpu)
+            if pulled is not None:
+                if k.migration.try_migrate(pulled, cpu, cls):
+                    cost += k.config.migrate_ns
+                else:
+                    cls.balance_err(cpu, pulled)
+            cost += cls.invocation_cost_ns("pick_next_task")
+            k.stats.sched_invocations += 1
+            pid = cls.pick_next_task(cpu)
+            cost += cls.consume_extra_cost_ns()
+            if pid is None:
+                continue
+            task = k.tasks.get(pid)
+            if (task is None or not rq.has(pid)
+                    or task.state != TaskState.RUNNABLE
+                    or not task.can_run_on(cpu)):
+                # A native class answering wrongly is the crash the paper
+                # describes; Enoki's adapter never lets this surface.
+                k.stats.pick_errors += 1
+                raise SchedulingError(
+                    f"{cls.name}.pick_next_task({cpu}) returned pid {pid} "
+                    "which is not runnable on this CPU's run queue"
+                )
+            chosen = task
+            break
+        if chosen is None:
+            self.go_idle(cpu)
+            return
+        self.dispatch(cpu, chosen, prev, cost)
+
+    def go_idle(self, cpu):
+        k = self.k
+        rq = k.rqs[cpu]
+        rq.current = None
+        rq.idle_since_ns = k.now
+        self.stop_tick(cpu)
+        if k.trace:
+            k.trace("idle", cpu=cpu, t=k.now)
+
+    def dispatch(self, cpu, task, prev, pick_cost):
+        k = self.k
+        rq = k.rqs[cpu]
+        if prev is None and rq.idle_since_ns >= 0:
+            k.stats.cpus[cpu].idle_ns += k.now - rq.idle_since_ns
+            rq.idle_since_ns = -1
+        cost = pick_cost
+        if task is not prev:
+            cost += k.config.context_switch_ns
+            rq.nr_switches += 1
+            k.stats.cpus[cpu].switches += 1
+        rq.detach(task)
+        task.on_rq = True        # current counts as on_rq, as in Linux
+        task.cpu = cpu
+        rq.current = task
+        task.set_state(TaskState.RUNNING)
+        start = k.now + cost
+        task.exec_start_ns = start
+        task.run_started_ns = start
+        if task.last_wakeup_ns >= 0:
+            latency = start - task.last_wakeup_ns
+            task.stats.note_wakeup_latency(
+                latency, k.collect_wakeup_samples
+            )
+            task.last_wakeup_ns = -1
+        epoch = task.run_epoch
+        k.events.at(start, self.task_resume, task, epoch)
+        self.start_tick(cpu)
+        if k.trace:
+            k.trace("dispatch", cpu=cpu, pid=task.pid, t=k.now,
+                    cost=cost)
+
+    def task_resume(self, task, epoch):
+        k = self.k
+        if task.run_epoch != epoch or task.state != TaskState.RUNNING:
+            return
+        cpu = task.cpu
+        if k.rqs[cpu].current is not task:
+            return
+        if task.run_remaining_ns > 0:
+            task.run_started_ns = k.now
+            k.events.after(
+                task.run_remaining_ns, k.interp.run_complete, task, epoch
+            )
+        else:
+            k.interp.advance_program(task)
+
+    # ------------------------------------------------------------------
+    # tick
+    # ------------------------------------------------------------------
+
+    def start_tick(self, cpu):
+        k = self.k
+        if self._tick_timers[cpu] is not None:
+            return
+        self._tick_timers[cpu] = k.timers.arm_periodic(
+            k.config.tick_period_ns,
+            lambda _t, c=cpu: self.tick(c),
+            tag=("tick", cpu),
+        )
+
+    def stop_tick(self, cpu):
+        timer = self._tick_timers[cpu]
+        if timer is not None:
+            timer.cancel()
+            self._tick_timers[cpu] = None
+
+    def tick(self, cpu):
+        k = self.k
+        rq = k.rqs[cpu]
+        cur = rq.current
+        if cur is None:
+            self.stop_tick(cpu)
+            return
+        self.update_curr(cpu)
+        k.class_of(cur).task_tick(cpu, cur)
+        if rq.need_resched:
+            self.reschedule(cpu)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def update_curr(self, cpu):
+        k = self.k
+        rq = k.rqs[cpu]
+        cur = rq.current
+        if cur is None:
+            return
+        delta = k.now - cur.exec_start_ns
+        if delta <= 0:
+            return
+        cur.exec_start_ns = k.now
+        cur.sum_exec_runtime_ns += delta
+        cur.last_ran_ns = k.now
+        k.stats.cpus[cpu].charge(cur, delta)
+        k.class_of(cur).update_curr(cur, delta)

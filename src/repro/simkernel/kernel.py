@@ -1,37 +1,48 @@
-"""The kernel core: dispatch, wakeups, ticks, migration, idle handling.
+"""The kernel core facade: a simulated multicore machine.
 
 This module plays the role of Linux's ``kernel/sched/core.c`` in the
-reproduction.  It owns all kernel state — run queues, the current task of
-every CPU, task lifecycles — and calls into registered
-:class:`~repro.simkernel.sched_class.SchedClass` objects at exactly the
-points the paper describes (section 3.1's walk-through): placement on fork
-and wakeup, state-change notifications, ``balance`` then ``pick_next_task``
-on every schedule operation, and the periodic tick.
+reproduction, but — mirroring the decomposition the paper argues for in
+section 3.1 (shim + library instead of one tangled ``sched_class`` core) —
+the logic lives in four collaborating subsystems, each owning one concern:
 
-Task programs are generators of ops (:mod:`repro.simkernel.program`); the
-kernel interprets one op at a time, charging each op's cost from the
-calibrated :class:`~repro.simkernel.config.SimConfig` before performing its
-effect.  Syscall-like ops are non-preemptible (as in the real kernel);
-``Run`` segments are preemptible at any instant.
+* :class:`~repro.simkernel.interp.OpInterpreter` (``kernel.interp``) —
+  program-op execution and cost charging.  Task programs are generators
+  of ops (:mod:`repro.simkernel.program`); the interpreter runs one op at
+  a time, charging each op's cost from the calibrated
+  :class:`~repro.simkernel.config.SimConfig` before performing its effect.
+* :class:`~repro.simkernel.dispatch.DispatchEngine`
+  (``kernel.dispatcher``) — the schedule() path: ``balance`` then
+  ``pick_next_task`` over the class stack, context switches, preemption,
+  the periodic tick, and runtime accounting.
+* :class:`~repro.simkernel.migration.MigrationService`
+  (``kernel.migration``) — wakeup placement, the IPI/idle-exit cost
+  model, and run-queue migration with failed-migration accounting.
+* :class:`~repro.simkernel.lifecycle.LifecycleManager`
+  (``kernel.lifecycle``) — pid allocation, fork placement, and exit
+  notification.
+
+``Kernel`` itself owns all shared state — run queues, the current task of
+every CPU, the task table, the registered
+:class:`~repro.simkernel.sched_class.SchedClass` stack — and keeps the
+public API stable: schedulers, sanitizers, faults, and observers call the
+same surface as before the decomposition.
 """
 
 import random
 
-from repro.simkernel import program as ops
 from repro.simkernel.clock import Clock
 from repro.simkernel.config import SimConfig
-from repro.simkernel.errors import ProgramError, SchedulingError, SimError
+from repro.simkernel.dispatch import DispatchEngine
+from repro.simkernel.errors import SchedulingError
 from repro.simkernel.events import EventQueue
+from repro.simkernel.interp import OpInterpreter
+from repro.simkernel.lifecycle import LifecycleManager
+from repro.simkernel.migration import MigrationService
 from repro.simkernel.runqueue import KernelRunQueue
-from repro.simkernel.sched_class import DEFERRED_CPU, WF_FORK, WF_SYNC, WF_TTWU
 from repro.simkernel.stats import KernelStats
-from repro.simkernel.task import TaskState, TaskStruct
+from repro.simkernel.task import TaskState
 from repro.simkernel.timers import TimerService
 from repro.simkernel.topology import Topology
-
-_BLOCK = "block"
-_YIELD = "yield"
-_EXIT = "exit"
 
 
 class Kernel:
@@ -47,18 +58,20 @@ class Kernel:
         self.rqs = [KernelRunQueue(c) for c in self.topology.all_cpus()]
         self.stats = KernelStats(self.topology.nr_cpus)
         self.tasks = {}
-        self._next_pid = 1
         self._classes = []            # (priority, SchedClass), high prio first
         self._class_by_policy = {}
         self._policy_redirects = {}   # failed policy -> fallback policy
         self._limbo = set()           # pids awaiting deferred placement
-        self._tick_timers = [None] * self.topology.nr_cpus
         self._hint_handlers = {}      # policy -> handler object
-        self._exit_callbacks = []
         # Deterministic micro-jitter source (IRQ/C-state variance model).
         self._rng = random.Random(self.config.seed ^ 0x5EED)
         self.collect_wakeup_samples = True
         self.trace = None
+        # The four subsystems; each owns behaviour, the facade owns state.
+        self.interp = OpInterpreter(self)
+        self.dispatcher = DispatchEngine(self)
+        self.migration = MigrationService(self)
+        self.lifecycle = LifecycleManager(self)
 
     # ------------------------------------------------------------------
     # registration
@@ -137,7 +150,7 @@ class Kernel:
 
     def on_task_exit(self, callback):
         """Register ``callback(task)`` to run when any task exits."""
-        self._exit_callbacks.append(callback)
+        self.lifecycle.on_task_exit(callback)
 
     # ------------------------------------------------------------------
     # time
@@ -157,674 +170,54 @@ class Kernel:
         return self.events.run_until_idle(max_events)
 
     # ------------------------------------------------------------------
-    # task creation / lifecycle
+    # lifecycle (delegated)
     # ------------------------------------------------------------------
 
     def spawn(self, prog, name=None, policy=0, nice=0, allowed_cpus=None,
               origin_cpu=0, tgid=None):
         """Create and start a new task running ``prog`` (a generator fn)."""
-        pid = self._next_pid
-        self._next_pid += 1
-        task = TaskStruct(pid, prog, name=name, policy=policy, nice=nice,
-                          allowed_cpus=allowed_cpus, tgid=tgid)
-        task.stats.created_ns = self.now
-        self.tasks[pid] = task
-        task.start_program()
-        self._wake_up_new_task(task, origin_cpu)
-        return task
-
-    def _wake_up_new_task(self, task, origin_cpu):
-        """Place and queue a new task.  Returns the fork-path hook cost."""
-        cls = self.class_of(task)
-        cpu = self._invoke_select(cls, task, origin_cpu, WF_FORK,
-                                  origin_cpu)
-        task.set_state(TaskState.RUNNABLE)
-        task.last_wakeup_ns = self.now
-        hook_cost = (cls.invocation_cost_ns("select_task_rq")
-                     + cls.invocation_cost_ns("task_new"))
-        if cpu == DEFERRED_CPU:
-            self._limbo.add(task.pid)
-            cls.task_new(task, DEFERRED_CPU)
-            if self.trace is not None:
-                self.trace("fork", t=self.now, cpu=origin_cpu, pid=task.pid,
-                           deferred=True)
-            return hook_cost
-        self._attach_runnable(task, cpu)
-        cls.task_new(task, cpu)
-        if self.trace is not None:
-            self.trace("fork", t=self.now, cpu=cpu, pid=task.pid,
-                       origin=origin_cpu)
-        self._kick_cpu_for_wakeup(task, cpu, origin_cpu, cls)
-        return hook_cost
-
-    def _invoke_select(self, cls, task, prev_cpu, flags, waker_cpu=-1):
-        cpu = cls.select_task_rq(task, prev_cpu, flags, waker_cpu)
-        if cpu == DEFERRED_CPU:
-            return cpu
-        if not 0 <= cpu < self.topology.nr_cpus:
-            raise SchedulingError(
-                f"{cls.name}.select_task_rq returned bad cpu {cpu}"
-            )
-        if not task.can_run_on(cpu):
-            raise SchedulingError(
-                f"{cls.name} placed pid {task.pid} on disallowed cpu {cpu}"
-            )
-        return cpu
-
-    def _attach_runnable(self, task, cpu):
-        self.rqs[cpu].attach(task)
-        task.last_enqueue_ns = self.now
+        return self.lifecycle.spawn(prog, name=name, policy=policy,
+                                    nice=nice, allowed_cpus=allowed_cpus,
+                                    origin_cpu=origin_cpu, tgid=tgid)
 
     # ------------------------------------------------------------------
-    # wakeups
+    # wakeups and migration (delegated)
     # ------------------------------------------------------------------
 
     def wake_task(self, task, waker_cpu=None, sync=False,
                   charge_waker=False):
-        """Try-to-wake-up: move a blocked task back onto a run queue.
-
-        Returns the kernel time the wakeup hooks cost.  When
-        ``charge_waker`` is true the caller is a running task's op handler
-        and must absorb that cost into its own timeline (ttwu executes in
-        the waker's context); otherwise the cost is folded into the wakee's
-        dispatch delay (timer-driven wakeups).
-        """
-        if task.state == TaskState.DEAD:
-            return 0
-        if task.state != TaskState.BLOCKED:
-            return 0
-        cls = self.class_of(task)
-        flags = WF_TTWU | (WF_SYNC if sync else 0)
-        task.set_state(TaskState.RUNNABLE)
-        task.last_wakeup_ns = self.now
-        task.wakeup_flags = flags
-        self.stats.total_wakeups += 1
-        hook_cost = (cls.invocation_cost_ns("select_task_rq")
-                     + cls.invocation_cost_ns("task_wakeup"))
-        waker = waker_cpu if waker_cpu is not None else -1
-        cpu = self._invoke_select(cls, task, task.cpu, flags, waker)
-        if cpu == DEFERRED_CPU:
-            self._limbo.add(task.pid)
-            cls.task_wakeup(task, DEFERRED_CPU)
-            if self.trace is not None:
-                self.trace("wakeup", t=self.now, cpu=-1, pid=task.pid,
-                           waker=waker, deferred=True)
-            return hook_cost if charge_waker else 0
-        self._attach_runnable(task, cpu)
-        cls.task_wakeup(task, cpu)
-        if self.trace is not None:
-            self.trace("wakeup", t=self.now, cpu=cpu, pid=task.pid,
-                       waker=waker, sync=sync)
-        extra = 0 if charge_waker else hook_cost
-        self._kick_cpu_for_wakeup(task, cpu, waker_cpu, cls, extra)
-        return hook_cost if charge_waker else 0
+        """Try-to-wake-up: move a blocked task back onto a run queue."""
+        return self.migration.wake_task(task, waker_cpu=waker_cpu,
+                                        sync=sync,
+                                        charge_waker=charge_waker)
 
     def place_task(self, pid, cpu, kicker_cpu=None):
-        """Complete a deferred placement (asynchronous schedulers only).
+        """Complete a deferred placement (asynchronous schedulers only)."""
+        return self.migration.place_task(pid, cpu, kicker_cpu=kicker_cpu)
 
-        Returns False when the task is no longer placeable (raced with
-        exit), letting the caller observe staleness — the ghOSt model relies
-        on this.
-        """
-        task = self.tasks.get(pid)
-        if task is None or task.state != TaskState.RUNNABLE:
-            return False
-        if pid not in self._limbo:
-            return False
-        if not task.can_run_on(cpu):
-            return False
-        self._limbo.discard(pid)
-        self._attach_runnable(task, cpu)
-        cls = self.class_of(task)
-        self._kick_cpu_for_wakeup(task, cpu, kicker_cpu, cls)
-        return True
-
-    def _wakeup_cost(self, target_cpu, waker_cpu):
-        cfg = self.config
-        jitter = (self._rng.randrange(cfg.wakeup_jitter_ns)
-                  if cfg.wakeup_jitter_ns > 0 else 0)
-        if waker_cpu is None or waker_cpu == target_cpu:
-            return cfg.wakeup_local_ns + jitter
-        cost = cfg.wakeup_remote_ns + jitter
-        if self.topology.distance(waker_cpu, target_cpu) >= 4:
-            cost += cfg.wakeup_cross_socket_extra_ns
-        return cost
-
-    def _idle_exit_cost(self, cpu):
-        cfg = self.config
-        idle_for = self.now - self.rqs[cpu].idle_since_ns
-        if idle_for >= cfg.idle_deep_threshold_ns:
-            jitter = (self._rng.randrange(cfg.idle_exit_deep_jitter_ns)
-                      if cfg.idle_exit_deep_jitter_ns > 0 else 0)
-            return cfg.idle_exit_deep_ns + jitter
-        return cfg.idle_exit_shallow_ns
-
-    def _kick_cpu_for_wakeup(self, task, cpu, waker_cpu, cls, extra=0):
-        rq = self.rqs[cpu]
-        cost = self._wakeup_cost(cpu, waker_cpu) + extra
-        # The target CPU owns this wakee until its kick lands (the IPI'd
-        # CPU claims the task in Linux); balancers must not steal it in
-        # flight, however long the idle exit takes.
-        task.kick_at_ns = self.now + cost
-        if rq.current is None:
-            task.kick_at_ns += self._idle_exit_cost(cpu)
-        if rq.current is None:
-            cost += self._idle_exit_cost(cpu)
-            rq.need_resched = True
-            self.events.after(cost, self._reschedule, cpu)
-            return
-        decision = None
-        cur_cls = self.class_of(rq.current)
-        if self.class_priority(cls) > self.class_priority(cur_cls):
-            decision = "now"
-        else:
-            decision = cls.wakeup_preempt(cpu, task)
-        if decision == "now":
-            rq.need_resched = True
-            self.events.after(cost, self._reschedule, cpu)
-        elif decision == "tick":
-            rq.need_resched = True
+    def try_migrate(self, pid, dest_cpu, cls):
+        """Move a queued (not running) task to ``dest_cpu``'s run queue."""
+        return self.migration.try_migrate(pid, dest_cpu, cls)
 
     # ------------------------------------------------------------------
-    # rescheduling / the core schedule() path
+    # rescheduling (delegated)
     # ------------------------------------------------------------------
 
     def resched_cpu(self, cpu, when="now"):
         """Request a reschedule of ``cpu`` (used by scheduler classes)."""
-        rq = self.rqs[cpu]
-        rq.need_resched = True
-        if when == "now":
-            self.events.after(0, self._reschedule, cpu)
-
-    def _reschedule(self, cpu):
-        """Honor a pending resched request if the CPU can act on it."""
-        rq = self.rqs[cpu]
-        if not rq.need_resched:
-            return
-        cur = rq.current
-        if cur is None:
-            rq.need_resched = False
-            self._pick_and_switch(cpu, prev=None)
-            return
-        if getattr(cur, "_in_syscall", False):
-            return  # honored at the op boundary
-        if cur.state != TaskState.RUNNING:
-            return
-        if cur.exec_start_ns > self.now:
-            # Mid-context-switch: interrupts are effectively off until the
-            # dispatch completes.  Re-deliver just after the task actually
-            # starts — without this, a preemption timer shorter than the
-            # dispatch cost livelocks the CPU (no task ever runs).
-            self.events.at(
-                cur.exec_start_ns + self.config.timer_min_delay_ns,
-                self._reschedule, cpu,
-            )
-            return
-        rq.need_resched = False
-        self._preempt_current(cpu)
-
-    def _preempt_current(self, cpu):
-        rq = self.rqs[cpu]
-        prev = rq.current
-        self._update_curr(cpu)
-        self._pause_run_segment(prev)
-        prev.run_epoch += 1
-        prev.set_state(TaskState.RUNNABLE)
-        prev.stats.preemptions += 1
-        rq.current = None
-        prev.on_rq = False
-        self._attach_runnable(prev, cpu)
-        cls = self.class_of(prev)
-        cls.task_preempt(prev, cpu)
-        if self.trace is not None:
-            self.trace("preempt", t=self.now, cpu=cpu, pid=prev.pid)
-        self._pick_and_switch(
-            cpu, prev=prev,
-            base_cost=cls.invocation_cost_ns("task_preempt"),
-        )
-
-    def _deschedule_current(self, cpu, disposition):
-        """The current task leaves the CPU voluntarily."""
-        rq = self.rqs[cpu]
-        prev = rq.current
-        if prev is None:
-            raise SchedulingError(f"deschedule on idle cpu {cpu}")
-        self._update_curr(cpu)
-        prev.run_epoch += 1
-        rq.current = None
-        prev.on_rq = False
-        cls = self.class_of(prev)
-        if disposition == _BLOCK:
-            prev.set_state(TaskState.BLOCKED)
-            prev.stats.blocked_count += 1
-            cls.task_blocked(prev, cpu)
-            hook = "task_blocked"
-        elif disposition == _YIELD:
-            prev.set_state(TaskState.RUNNABLE)
-            prev.stats.yields += 1
-            self._attach_runnable(prev, cpu)
-            cls.task_yield(prev, cpu)
-            hook = "task_yield"
-        elif disposition == _EXIT:
-            prev.set_state(TaskState.DEAD)
-            prev.stats.finished_ns = self.now
-            cls.task_dead(prev.pid)
-            hook = "task_dead"
-            for callback in self._exit_callbacks:
-                callback(prev)
-        else:
-            raise SimError(f"unknown disposition {disposition}")
-        self._pick_and_switch(cpu, prev=prev,
-                              base_cost=cls.invocation_cost_ns(hook))
-
-    def _pick_and_switch(self, cpu, prev, base_cost=0):
-        """balance -> pick_next_task over the class stack, then dispatch."""
-        rq = self.rqs[cpu]
-        if rq.current is not None:
-            raise SchedulingError(f"pick on busy cpu {cpu}")
-        cost = base_cost
-        chosen = None
-        for _prio, cls in self._classes:
-            cost += cls.invocation_cost_ns("balance")
-            pulled = cls.balance(cpu)
-            if pulled is not None:
-                if self.try_migrate(pulled, cpu, cls):
-                    cost += self.config.migrate_ns
-                else:
-                    cls.balance_err(cpu, pulled)
-            cost += cls.invocation_cost_ns("pick_next_task")
-            self.stats.sched_invocations += 1
-            pid = cls.pick_next_task(cpu)
-            cost += cls.consume_extra_cost_ns()
-            if pid is None:
-                continue
-            task = self.tasks.get(pid)
-            if (task is None or not rq.has(pid)
-                    or task.state != TaskState.RUNNABLE
-                    or not task.can_run_on(cpu)):
-                # A native class answering wrongly is the crash the paper
-                # describes; Enoki's adapter never lets this surface.
-                self.stats.pick_errors += 1
-                raise SchedulingError(
-                    f"{cls.name}.pick_next_task({cpu}) returned pid {pid} "
-                    "which is not runnable on this CPU's run queue"
-                )
-            chosen = task
-            break
-        if chosen is None:
-            self._go_idle(cpu)
-            return
-        self._dispatch(cpu, chosen, prev, cost)
-
-    def _go_idle(self, cpu):
-        rq = self.rqs[cpu]
-        rq.current = None
-        rq.idle_since_ns = self.now
-        self._stop_tick(cpu)
-        if self.trace:
-            self.trace("idle", cpu=cpu, t=self.now)
-
-    def _dispatch(self, cpu, task, prev, pick_cost):
-        rq = self.rqs[cpu]
-        if prev is None and rq.idle_since_ns >= 0:
-            self.stats.cpus[cpu].idle_ns += self.now - rq.idle_since_ns
-            rq.idle_since_ns = -1
-        cost = pick_cost
-        if task is not prev:
-            cost += self.config.context_switch_ns
-            rq.nr_switches += 1
-            self.stats.cpus[cpu].switches += 1
-        rq.detach(task)
-        task.on_rq = True        # current counts as on_rq, as in Linux
-        task.cpu = cpu
-        rq.current = task
-        task.set_state(TaskState.RUNNING)
-        start = self.now + cost
-        task.exec_start_ns = start
-        task.run_started_ns = start
-        if task.last_wakeup_ns >= 0:
-            latency = start - task.last_wakeup_ns
-            task.stats.note_wakeup_latency(
-                latency, self.collect_wakeup_samples
-            )
-            task.last_wakeup_ns = -1
-        epoch = task.run_epoch
-        self.events.at(start, self._task_resume, task, epoch)
-        self._start_tick(cpu)
-        if self.trace:
-            self.trace("dispatch", cpu=cpu, pid=task.pid, t=self.now,
-                       cost=cost)
-
-    def _task_resume(self, task, epoch):
-        if task.run_epoch != epoch or task.state != TaskState.RUNNING:
-            return
-        cpu = task.cpu
-        if self.rqs[cpu].current is not task:
-            return
-        if task.run_remaining_ns > 0:
-            task.run_started_ns = self.now
-            self.events.after(
-                task.run_remaining_ns, self._run_complete, task, epoch
-            )
-        else:
-            self._advance_program(task)
-
-    # ------------------------------------------------------------------
-    # program interpretation
-    # ------------------------------------------------------------------
-
-    def _advance_program(self, task):
-        """Fetch and begin the task's next op.  ``Call`` ops loop inline."""
-        cpu = task.cpu
-        while True:
-            result = task.pending_result
-            task.pending_result = None
-            op = task.next_op(result)
-            if op is None:
-                self._deschedule_current(cpu, _EXIT)
-                return
-            if isinstance(op, ops.Call):
-                task.pending_result = op.fn(*op.args)
-                continue
-            break
-        self._begin_op(task, op)
-
-    def _begin_op(self, task, op):
-        cfg = self.config
-        epoch = task.run_epoch
-        if isinstance(op, ops.Run):
-            if op.ns < 0:
-                raise ProgramError(f"negative Run: {op.ns}")
-            task.run_remaining_ns = int(op.ns)
-            task.run_started_ns = self.now
-            self.events.after(task.run_remaining_ns,
-                              self._run_complete, task, epoch)
-            return
-        # Everything else is a syscall: charge entry cost, then apply the
-        # effect at completion time.  Syscalls are non-preemptible.
-        cost = cfg.syscall_ns
-        if isinstance(op, (ops.PipeWrite, ops.PipeRead)):
-            cost += cfg.pipe_transfer_ns
-        task._in_syscall = True
-        self.events.after(cost, self._op_effect, task, op, epoch)
-
-    def _run_complete(self, task, epoch):
-        if task.run_epoch != epoch or task.state != TaskState.RUNNING:
-            return
-        if self.rqs[task.cpu].current is not task:
-            return
-        self._update_curr(task.cpu)
-        task.run_remaining_ns = 0
-        self._boundary(task)
-
-    def _pause_run_segment(self, task):
-        """Bank unfinished Run time when a task is preempted mid-segment."""
-        if task.run_remaining_ns > 0:
-            elapsed = max(0, self.now - task.run_started_ns)
-            task.run_remaining_ns = max(0, task.run_remaining_ns - elapsed)
-
-    def _complete_op(self, task, epoch, extra_cost):
-        """Finish a syscall whose effect incurred extra kernel time.
-
-        The extra cost (e.g. try-to-wake-up work done in this task's
-        context) delays the task's next op.
-        """
-        if extra_cost <= 0:
-            self._boundary(task)
-            return
-        task._in_syscall = True
-        self.events.after(extra_cost, self._op_epilogue, task, epoch)
-
-    def _op_epilogue(self, task, epoch):
-        if task.run_epoch != epoch or task.state != TaskState.RUNNING:
-            return
-        if self.rqs[task.cpu].current is not task:
-            return
-        task._in_syscall = False
-        self._update_curr(task.cpu)
-        self._boundary(task)
-
-    def _boundary(self, task):
-        """An op finished: honor any pending resched, else keep going."""
-        cpu = task.cpu
-        rq = self.rqs[cpu]
-        if rq.need_resched:
-            rq.need_resched = False
-            self._preempt_current(cpu)
-            return
-        self._advance_program(task)
-
-    def _op_effect(self, task, op, epoch):
-        if task.run_epoch != epoch or task.state != TaskState.RUNNING:
-            return
-        cpu = task.cpu
-        if self.rqs[cpu].current is not task:
-            return
-        task._in_syscall = False
-        self._update_curr(cpu)
-
-        if isinstance(op, ops.Sleep):
-            self._deschedule_current(cpu, _BLOCK)
-            self.timers.arm(op.ns, lambda _t: self.wake_task(task),
-                            tag=("sleep", task.pid))
-            return
-        if isinstance(op, ops.PipeWrite):
-            reader, item = op.pipe.write(op.item)
-            extra = 0
-            if reader is not None:
-                reader.pending_result = item
-                extra = self.wake_task(reader, waker_cpu=cpu,
-                                       charge_waker=True)
-            task.pending_result = None
-            self._complete_op(task, epoch, extra)
-            return
-        if isinstance(op, ops.PipeRead):
-            available, item = op.pipe.try_read()
-            if available:
-                task.pending_result = item
-                self._boundary(task)
-                return
-            op.pipe.add_reader(task)
-            self._deschedule_current(cpu, _BLOCK)
-            return
-        if isinstance(op, ops.FutexWait):
-            if op.futex.should_block(op.expected):
-                op.futex.add_waiter(task)
-                self._deschedule_current(cpu, _BLOCK)
-                return
-            task.pending_result = False
-            self._boundary(task)
-            return
-        if isinstance(op, ops.FutexWake):
-            if op.new_value is not None:
-                op.futex.value = op.new_value
-            woken = op.futex.take_waiters(op.count)
-            extra = 0
-            for waiter in woken:
-                extra += self.wake_task(waiter, waker_cpu=cpu, sync=op.sync,
-                                        charge_waker=True)
-            task.pending_result = len(woken)
-            self._complete_op(task, epoch, extra)
-            return
-        if isinstance(op, ops.SemUp):
-            waiter = op.sem.up()
-            extra = 0
-            if waiter is not None:
-                waiter.pending_result = None
-                extra = self.wake_task(waiter, waker_cpu=cpu,
-                                       charge_waker=True)
-            task.pending_result = None
-            self._complete_op(task, epoch, extra)
-            return
-        if isinstance(op, ops.SemDown):
-            if op.sem.try_down():
-                task.pending_result = None
-                self._boundary(task)
-                return
-            op.sem.add_waiter(task)
-            self._deschedule_current(cpu, _BLOCK)
-            return
-        if isinstance(op, ops.YieldCpu):
-            self._deschedule_current(cpu, _YIELD)
-            return
-        if isinstance(op, ops.SendHint):
-            policy = op.policy if op.policy is not None else task.policy
-            handler = self._hint_handlers.get(policy)
-            if handler is None:
-                raise ProgramError(
-                    f"no hint handler for policy {policy} (pid {task.pid})"
-                )
-            task.pending_result = handler.send_hint(task, op.payload)
-            self._boundary(task)
-            return
-        if isinstance(op, ops.RecvHints):
-            policy = op.policy if op.policy is not None else task.policy
-            handler = self._hint_handlers.get(policy)
-            if handler is None:
-                raise ProgramError(
-                    f"no hint handler for policy {policy} (pid {task.pid})"
-                )
-            task.pending_result = handler.drain_rev(task)
-            self._boundary(task)
-            return
-        if isinstance(op, ops.Spawn):
-            child_policy = op.policy if op.policy is not None else task.policy
-            child = self.spawn(
-                op.program, name=op.name, policy=child_policy,
-                nice=op.nice, allowed_cpus=op.allowed_cpus,
-                origin_cpu=cpu, tgid=task.tgid,
-            )
-            task.pending_result = child.pid
-            cls = self.class_of(child)
-            fork_cost = (cls.invocation_cost_ns("select_task_rq")
-                         + cls.invocation_cost_ns("task_new"))
-            self._complete_op(task, epoch, fork_cost)
-            return
-        if isinstance(op, ops.SetNice):
-            task.set_nice(op.nice)
-            self.class_of(task).task_prio_changed(task, cpu)
-            task.pending_result = None
-            self._boundary(task)
-            return
-        if isinstance(op, ops.SetAffinity):
-            self._set_affinity(task, frozenset(op.cpus))
-            return
-        if isinstance(op, ops.Exit):
-            task.exit_value = op.value
-            self._deschedule_current(cpu, _EXIT)
-            return
-        raise ProgramError(f"unknown op {op!r} from pid {task.pid}")
-
-    def _set_affinity(self, task, cpus):
-        if not cpus:
-            raise ProgramError(f"pid {task.pid}: empty affinity mask")
-        cpu = task.cpu
-        task.allowed_cpus = cpus
-        self.class_of(task).task_affinity_changed(task, cpu)
-        if cpu in cpus:
-            task.pending_result = None
-            self._boundary(task)
-            return
-        # Running on a now-disallowed CPU: migrate by block + instant wake,
-        # which routes through select_task_rq as the migration thread would.
-        self._deschedule_current(cpu, _BLOCK)
-        self.events.after(self.config.migrate_ns, self.wake_task, task, cpu)
-
-    # ------------------------------------------------------------------
-    # migration
-    # ------------------------------------------------------------------
-
-    def try_migrate(self, pid, dest_cpu, cls):
-        """Move a queued (not running) task to ``dest_cpu``'s run queue.
-
-        Every rejected request counts as a failed migration in
-        :class:`~repro.simkernel.stats.KernelStats` (and traces the
-        rejection reason), so balancers' miss rates are observable.
-        """
-        task = self.tasks.get(pid)
-        if task is None or task.state != TaskState.RUNNABLE:
-            return self._migrate_failed(pid, dest_cpu, "not-runnable")
-        if pid in self._limbo:
-            return self._migrate_failed(pid, dest_cpu, "in-limbo")
-        src_cpu = task.cpu
-        if src_cpu == dest_cpu:
-            return self._migrate_failed(pid, dest_cpu, "same-cpu")
-        src_rq = self.rqs[src_cpu]
-        if not src_rq.has(pid):
-            return self._migrate_failed(pid, dest_cpu, "not-queued")
-        if not task.can_run_on(dest_cpu):
-            return self._migrate_failed(pid, dest_cpu, "affinity")
-        if (self.now - task.last_enqueue_ns
-                < self.config.migration_min_queued_ns):
-            # Its wakeup IPI is still in flight; the rq lock would be held.
-            return self._migrate_failed(pid, dest_cpu, "rq-locked")
-        if self.now < task.kick_at_ns:
-            # The woken task belongs to the CPU whose kick is in flight.
-            return self._migrate_failed(pid, dest_cpu, "kick-in-flight")
-        src_rq.detach(task)
-        self.rqs[dest_cpu].attach(task)
-        task.stats.migrations += 1
-        self.stats.total_migrations += 1
-        cls.migrate_task_rq(task, dest_cpu)
-        if self.trace is not None:
-            self.trace("migrate", t=self.now, cpu=dest_cpu, pid=pid,
-                       src=src_cpu)
-        return True
-
-    def _migrate_failed(self, pid, dest_cpu, reason):
-        self.stats.failed_migrations += 1
-        if self.trace is not None:
-            self.trace("migrate_failed", t=self.now, cpu=dest_cpu, pid=pid,
-                       reason=reason)
-        return False
-
-    # ------------------------------------------------------------------
-    # tick
-    # ------------------------------------------------------------------
-
-    def _start_tick(self, cpu):
-        if self._tick_timers[cpu] is not None:
-            return
-        self._tick_timers[cpu] = self.timers.arm_periodic(
-            self.config.tick_period_ns,
-            lambda _t, c=cpu: self._tick(c),
-            tag=("tick", cpu),
-        )
-
-    def _stop_tick(self, cpu):
-        timer = self._tick_timers[cpu]
-        if timer is not None:
-            timer.cancel()
-            self._tick_timers[cpu] = None
-
-    def _tick(self, cpu):
-        rq = self.rqs[cpu]
-        cur = rq.current
-        if cur is None:
-            self._stop_tick(cpu)
-            return
-        self._update_curr(cpu)
-        self.class_of(cur).task_tick(cpu, cur)
-        if rq.need_resched:
-            self._reschedule(cpu)
-
-    # ------------------------------------------------------------------
-    # accounting
-    # ------------------------------------------------------------------
+        self.dispatcher.resched_cpu(cpu, when=when)
 
     def _update_curr(self, cpu):
-        rq = self.rqs[cpu]
-        cur = rq.current
-        if cur is None:
-            return
-        delta = self.now - cur.exec_start_ns
-        if delta <= 0:
-            return
-        cur.exec_start_ns = self.now
-        cur.sum_exec_runtime_ns += delta
-        cur.last_ran_ns = self.now
-        self.stats.cpus[cpu].charge(cur, delta)
-        self.class_of(cur).update_curr(cur, delta)
+        """Runtime accounting up to now (native classes call this)."""
+        self.dispatcher.update_curr(cpu)
+
+    # ------------------------------------------------------------------
+    # shared-state helpers used by the subsystems
+    # ------------------------------------------------------------------
+
+    def _attach_runnable(self, task, cpu):
+        self.rqs[cpu].attach(task)
+        task.last_enqueue_ns = self.now
 
     # ------------------------------------------------------------------
     # queries used by scheduler classes and workloads

@@ -1,0 +1,208 @@
+"""Wakeup placement and run-queue migration.
+
+One of the four kernel-core subsystems (see :mod:`repro.simkernel.kernel`
+for the facade): this one owns the try-to-wake-up path — placement via
+``select_task_rq``, the IPI/idle-exit cost model, wakeup preemption — and
+every movement of a queued task between run queues, including the
+failed-migration accounting that makes balancer miss rates observable.
+"""
+
+from repro.simkernel.errors import SchedulingError
+from repro.simkernel.sched_class import DEFERRED_CPU, WF_SYNC, WF_TTWU
+from repro.simkernel.task import TaskState
+
+
+class MigrationService:
+    """Placement and migration over the kernel's shared state."""
+
+    def __init__(self, kernel):
+        self.k = kernel
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def invoke_select(self, cls, task, prev_cpu, flags, waker_cpu=-1):
+        """Call ``select_task_rq`` and validate the answer."""
+        k = self.k
+        cpu = cls.select_task_rq(task, prev_cpu, flags, waker_cpu)
+        if cpu == DEFERRED_CPU:
+            return cpu
+        if not 0 <= cpu < k.topology.nr_cpus:
+            raise SchedulingError(
+                f"{cls.name}.select_task_rq returned bad cpu {cpu}"
+            )
+        if not task.can_run_on(cpu):
+            raise SchedulingError(
+                f"{cls.name} placed pid {task.pid} on disallowed cpu {cpu}"
+            )
+        return cpu
+
+    # ------------------------------------------------------------------
+    # wakeups
+    # ------------------------------------------------------------------
+
+    def wake_task(self, task, waker_cpu=None, sync=False,
+                  charge_waker=False):
+        """Try-to-wake-up: move a blocked task back onto a run queue.
+
+        Returns the kernel time the wakeup hooks cost.  When
+        ``charge_waker`` is true the caller is a running task's op handler
+        and must absorb that cost into its own timeline (ttwu executes in
+        the waker's context); otherwise the cost is folded into the wakee's
+        dispatch delay (timer-driven wakeups).
+        """
+        k = self.k
+        if task.state == TaskState.DEAD:
+            return 0
+        if task.state != TaskState.BLOCKED:
+            return 0
+        cls = k.class_of(task)
+        flags = WF_TTWU | (WF_SYNC if sync else 0)
+        task.set_state(TaskState.RUNNABLE)
+        task.last_wakeup_ns = k.now
+        task.wakeup_flags = flags
+        k.stats.total_wakeups += 1
+        hook_cost = (cls.invocation_cost_ns("select_task_rq")
+                     + cls.invocation_cost_ns("task_wakeup"))
+        waker = waker_cpu if waker_cpu is not None else -1
+        cpu = self.invoke_select(cls, task, task.cpu, flags, waker)
+        if cpu == DEFERRED_CPU:
+            k._limbo.add(task.pid)
+            cls.task_wakeup(task, DEFERRED_CPU)
+            if k.trace is not None:
+                k.trace("wakeup", t=k.now, cpu=-1, pid=task.pid,
+                        waker=waker, deferred=True)
+            return hook_cost if charge_waker else 0
+        k._attach_runnable(task, cpu)
+        cls.task_wakeup(task, cpu)
+        if k.trace is not None:
+            k.trace("wakeup", t=k.now, cpu=cpu, pid=task.pid,
+                    waker=waker, sync=sync)
+        extra = 0 if charge_waker else hook_cost
+        self.kick_cpu_for_wakeup(task, cpu, waker_cpu, cls, extra)
+        return hook_cost if charge_waker else 0
+
+    def place_task(self, pid, cpu, kicker_cpu=None):
+        """Complete a deferred placement (asynchronous schedulers only).
+
+        Returns False when the task is no longer placeable (raced with
+        exit), letting the caller observe staleness — the ghOSt model relies
+        on this.
+        """
+        k = self.k
+        task = k.tasks.get(pid)
+        if task is None or task.state != TaskState.RUNNABLE:
+            return False
+        if pid not in k._limbo:
+            return False
+        if not task.can_run_on(cpu):
+            return False
+        k._limbo.discard(pid)
+        k._attach_runnable(task, cpu)
+        cls = k.class_of(task)
+        self.kick_cpu_for_wakeup(task, cpu, kicker_cpu, cls)
+        return True
+
+    # ------------------------------------------------------------------
+    # the wakeup cost model
+    # ------------------------------------------------------------------
+
+    def wakeup_cost(self, target_cpu, waker_cpu):
+        k = self.k
+        cfg = k.config
+        jitter = (k._rng.randrange(cfg.wakeup_jitter_ns)
+                  if cfg.wakeup_jitter_ns > 0 else 0)
+        if waker_cpu is None or waker_cpu == target_cpu:
+            return cfg.wakeup_local_ns + jitter
+        cost = cfg.wakeup_remote_ns + jitter
+        if k.topology.distance(waker_cpu, target_cpu) >= 4:
+            cost += cfg.wakeup_cross_socket_extra_ns
+        return cost
+
+    def idle_exit_cost(self, cpu):
+        k = self.k
+        cfg = k.config
+        idle_for = k.now - k.rqs[cpu].idle_since_ns
+        if idle_for >= cfg.idle_deep_threshold_ns:
+            jitter = (k._rng.randrange(cfg.idle_exit_deep_jitter_ns)
+                      if cfg.idle_exit_deep_jitter_ns > 0 else 0)
+            return cfg.idle_exit_deep_ns + jitter
+        return cfg.idle_exit_shallow_ns
+
+    def kick_cpu_for_wakeup(self, task, cpu, waker_cpu, cls, extra=0):
+        k = self.k
+        rq = k.rqs[cpu]
+        cost = self.wakeup_cost(cpu, waker_cpu) + extra
+        # The target CPU owns this wakee until its kick lands (the IPI'd
+        # CPU claims the task in Linux); balancers must not steal it in
+        # flight, however long the idle exit takes.
+        task.kick_at_ns = k.now + cost
+        if rq.current is None:
+            task.kick_at_ns += self.idle_exit_cost(cpu)
+        if rq.current is None:
+            cost += self.idle_exit_cost(cpu)
+            rq.need_resched = True
+            k.events.after(cost, k.dispatcher.reschedule, cpu)
+            return
+        decision = None
+        cur_cls = k.class_of(rq.current)
+        if k.class_priority(cls) > k.class_priority(cur_cls):
+            decision = "now"
+        else:
+            decision = cls.wakeup_preempt(cpu, task)
+        if decision == "now":
+            rq.need_resched = True
+            k.events.after(cost, k.dispatcher.reschedule, cpu)
+        elif decision == "tick":
+            rq.need_resched = True
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+
+    def try_migrate(self, pid, dest_cpu, cls):
+        """Move a queued (not running) task to ``dest_cpu``'s run queue.
+
+        Every rejected request counts as a failed migration in
+        :class:`~repro.simkernel.stats.KernelStats` (and traces the
+        rejection reason), so balancers' miss rates are observable.
+        """
+        k = self.k
+        task = k.tasks.get(pid)
+        if task is None or task.state != TaskState.RUNNABLE:
+            return self.migrate_failed(pid, dest_cpu, "not-runnable")
+        if pid in k._limbo:
+            return self.migrate_failed(pid, dest_cpu, "in-limbo")
+        src_cpu = task.cpu
+        if src_cpu == dest_cpu:
+            return self.migrate_failed(pid, dest_cpu, "same-cpu")
+        src_rq = k.rqs[src_cpu]
+        if not src_rq.has(pid):
+            return self.migrate_failed(pid, dest_cpu, "not-queued")
+        if not task.can_run_on(dest_cpu):
+            return self.migrate_failed(pid, dest_cpu, "affinity")
+        if (k.now - task.last_enqueue_ns
+                < k.config.migration_min_queued_ns):
+            # Its wakeup IPI is still in flight; the rq lock would be held.
+            return self.migrate_failed(pid, dest_cpu, "rq-locked")
+        if k.now < task.kick_at_ns:
+            # The woken task belongs to the CPU whose kick is in flight.
+            return self.migrate_failed(pid, dest_cpu, "kick-in-flight")
+        src_rq.detach(task)
+        k.rqs[dest_cpu].attach(task)
+        task.stats.migrations += 1
+        k.stats.total_migrations += 1
+        cls.migrate_task_rq(task, dest_cpu)
+        if k.trace is not None:
+            k.trace("migrate", t=k.now, cpu=dest_cpu, pid=pid,
+                    src=src_cpu)
+        return True
+
+    def migrate_failed(self, pid, dest_cpu, reason):
+        k = self.k
+        k.stats.failed_migrations += 1
+        if k.trace is not None:
+            k.trace("migrate_failed", t=k.now, cpu=dest_cpu, pid=pid,
+                    reason=reason)
+        return False

@@ -25,14 +25,9 @@ the same (master seed, episode index) always builds the same episode.
 import random
 from dataclasses import dataclass, field, replace
 
-from repro.core import (EnokiSchedClass, FaultPlan, Recorder, ReplayEngine,
-                        SchedulerWatchdog, UpgradeManager)
+from repro.core import FaultPlan, Recorder, ReplayEngine
 from repro.core.faults import FaultSpec
-from repro.schedulers.cfs import CfsSchedClass
-from repro.schedulers.eevdf import EnokiEevdf
-from repro.schedulers.fifo import EnokiFifo
-from repro.schedulers.wfq import EnokiWfq
-from repro.simkernel import Kernel, SimConfig, Topology
+from repro.exp import KernelBuilder
 from repro.simkernel.clock import usecs
 from repro.simkernel.errors import SimError
 from repro.simkernel.program import Run, SendHint, Sleep, YieldCpu
@@ -42,13 +37,10 @@ from repro.verify.sanitizers import SanitizerSuite, Violation
 #: the policy number every fuzzed Enoki module is registered under
 TASK_POLICY = 7
 
-#: schedulers the fuzzer rotates through; all are same-TRANSFER_TYPE-safe
-#: to upgrade to a fresh instance of themselves mid-run
-SCHEDULER_FACTORIES = {
-    "wfq": lambda nr: EnokiWfq(nr, TASK_POLICY),
-    "fifo": lambda nr: EnokiFifo(nr, TASK_POLICY),
-    "eevdf": lambda nr: EnokiEevdf(nr, TASK_POLICY),
-}
+#: schedulers the fuzzer rotates through (a subset of the
+#: ``repro.exp`` registry); all are same-TRANSFER_TYPE-safe to upgrade
+#: to a fresh instance of themselves mid-run
+SCHEDULER_NAMES = ("eevdf", "fifo", "wfq")
 
 #: fault kinds the fuzzer composes ad-hoc plans from (beyond the built-in
 #: plans).  ``hang`` is excluded: its hang_ns needs workload-aware tuning
@@ -165,7 +157,7 @@ def generate_episode(seed, sched=None):
     """Derive a complete :class:`EpisodeSpec` from one integer seed."""
     rng = random.Random(seed)
     name = sched if sched is not None else rng.choice(
-        sorted(SCHEDULER_FACTORIES))
+        sorted(SCHEDULER_NAMES))
     nr_cpus = rng.choice((1, 2, 2, 4))
     tasks = []
     for _ in range(rng.randint(2, 8)):
@@ -230,38 +222,33 @@ def run_episode(spec, capture=False):
     Returns an :class:`EpisodeResult`; with ``capture`` the attached
     suite is included (as ``result.suite``) for trace inspection.
     """
-    factory = SCHEDULER_FACTORIES[spec.sched]
     recorder = Recorder() if spec.recordable else None
 
-    kernel = Kernel(Topology.smp(spec.nr_cpus), SimConfig())
-    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
-    shim = EnokiSchedClass.register(kernel, factory(spec.nr_cpus),
-                                    TASK_POLICY, priority=10,
-                                    recorder=recorder)
+    # The builder threads the episode seed into SimConfig, so the
+    # kernel's jitter RNG is episode-deterministic too (not just the
+    # episode-generation RNG).
+    session = (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
+                             seed=spec.seed)
+               .with_native("cfs", policy=0, priority=5)
+               .with_enoki(spec.sched, policy=TASK_POLICY, priority=10,
+                           recorder=recorder)
+               .build())
+    kernel, shim = session.kernel, session.shim
     suite = SanitizerSuite.attach(kernel)
 
     if spec.bug == "skip_consume":
         shim._test_skip_token_consume = True
 
     injector = None
-    watchdog = None
     if spec.plan is not None:
-        plan = FaultPlan.from_dict(spec.plan)
-        injector = shim.install_faults(plan)
-        shim.configure_containment(fallback_policy=0)
-        watchdog = SchedulerWatchdog(
-            kernel, TASK_POLICY, period_ns=usecs(200),
-            lost_task_ns=usecs(5_000), escalate=shim.containment,
-            escalate_kinds=("lost_task",))
+        injector = session.install_faults(FaultPlan.from_dict(spec.plan))
     if spec.upgrade_at_ns:
-        upgrades = UpgradeManager(kernel, shim)
-        upgrades.schedule_upgrade(lambda: factory(spec.nr_cpus),
-                                  at_ns=spec.upgrade_at_ns)
+        session.schedule_upgrade(spec.upgrade_at_ns)
 
     for i, task_spec in enumerate(spec.tasks):
-        kernel.spawn(_make_program(task_spec, TASK_POLICY),
-                     name=f"fuzz-{i}", policy=TASK_POLICY,
-                     origin_cpu=i % spec.nr_cpus)
+        session.spawn(_make_program(task_spec, TASK_POLICY),
+                      name=f"fuzz-{i}",
+                      origin_cpu=i % spec.nr_cpus)
 
     try:
         kernel.run_until_idle(max_events=_EVENT_BUDGET)
@@ -269,8 +256,7 @@ def run_episode(spec, capture=False):
         suite.record_violation(Violation(
             "completion", kernel.now,
             f"episode did not quiesce: {exc}"))
-    if watchdog is not None:
-        watchdog.stop()
+    session.stop()
     if recorder is not None:
         recorder.stop()
 
@@ -295,7 +281,7 @@ def run_episode(spec, capture=False):
     if capture:
         result.suite = suite
 
-    _replay_oracle(spec, recorder, factory, result)
+    _replay_oracle(spec, recorder, session.scheduler_factory, result)
     _control_oracle(spec, result)
     return result
 
@@ -304,7 +290,7 @@ def _replay_oracle(spec, recorder, factory, result):
     """Recorded episodes must replay bit-identically (section 3.4)."""
     if recorder is None or not recorder.entries:
         return
-    engine = ReplayEngine(lambda: factory(spec.nr_cpus), recorder.entries)
+    engine = ReplayEngine(factory, recorder.entries)
     replay = engine.run_sequential()
     result.replay_checked = True
     if not replay.matched:
@@ -317,13 +303,18 @@ def _replay_oracle(spec, recorder, factory, result):
 def _control_oracle(spec, result):
     """The same workload on a plain native kernel must also finish; when
     it does and the Enoki machine lost tasks, the loss is real."""
-    kernel = Kernel(Topology.smp(spec.nr_cpus), SimConfig())
-    kernel.register_sched_class(CfsSchedClass(policy=0), priority=10)
+    # Same seed as the Enoki machine: the control differs only in its
+    # scheduler stack, never in jitter.
+    session = (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
+                             seed=spec.seed)
+               .with_native("cfs", policy=0, priority=10)
+               .build())
+    kernel = session.kernel
     for i, task_spec in enumerate(spec.tasks):
         # Policy 0 has no hint handler; the control program strips hints.
         control_spec = replace(task_spec, hints=False)
-        kernel.spawn(_make_program(control_spec, 0), name=f"ctrl-{i}",
-                     policy=0, origin_cpu=i % spec.nr_cpus)
+        session.spawn(_make_program(control_spec, 0), name=f"ctrl-{i}",
+                      policy=0, origin_cpu=i % spec.nr_cpus)
     try:
         kernel.run_until_idle(max_events=_EVENT_BUDGET)
     except SimError:

@@ -186,24 +186,22 @@ def write_artifact(path, shrink_result):
 def _build_recorded(spec, recorder, fuzz_mod):
     """A bare kernel for ``spec`` with the recorder installed (no
     sanitizers: this run only exists to capture the dispatch log)."""
-    from repro.core import EnokiSchedClass
-    from repro.schedulers.cfs import CfsSchedClass
-    from repro.simkernel import Kernel, SimConfig, Topology
+    from repro.exp import KernelBuilder
 
-    factory = fuzz_mod.SCHEDULER_FACTORIES[spec.sched]
-    kernel = Kernel(Topology.smp(spec.nr_cpus), SimConfig())
-    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
-    shim = EnokiSchedClass.register(kernel, factory(spec.nr_cpus),
-                                    fuzz_mod.TASK_POLICY, priority=10,
-                                    recorder=recorder)
+    session = (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
+                             seed=spec.seed)
+               .with_native("cfs", policy=0, priority=5)
+               .with_enoki(spec.sched, policy=fuzz_mod.TASK_POLICY,
+                           priority=10, recorder=recorder)
+               .build())
     if spec.bug == "skip_consume":
-        shim._test_skip_token_consume = True
+        session.shim._test_skip_token_consume = True
     for i, task_spec in enumerate(spec.tasks):
-        kernel.spawn(fuzz_mod._make_program(task_spec,
-                                            fuzz_mod.TASK_POLICY),
-                     name=f"fuzz-{i}", policy=fuzz_mod.TASK_POLICY,
-                     origin_cpu=i % spec.nr_cpus)
-    return kernel
+        session.spawn(fuzz_mod._make_program(task_spec,
+                                             fuzz_mod.TASK_POLICY),
+                      name=f"fuzz-{i}",
+                      origin_cpu=i % spec.nr_cpus)
+    return session.kernel
 
 
 def load_artifact(path):

@@ -23,17 +23,18 @@ from repro.simkernel.program import (
     Spawn,
     YieldCpu,
 )
+from repro.exp import KernelBuilder
+from repro.schedulers.fifo_native import NativeFifoClass
 from repro.simkernel.futex import Futex
 from repro.simkernel.task import TaskState
-from repro.schedulers.fifo_native import NativeFifoClass
 
 
 def make_kernel(nr_cpus=2, **config_overrides):
-    config = SimConfig().scaled(**config_overrides)
-    kernel = Kernel(Topology.smp(nr_cpus), config)
-    fifo = NativeFifoClass(policy=1)
-    kernel.register_sched_class(fifo, priority=10)
-    return kernel, fifo
+    session = (KernelBuilder(topology=f"smp:{nr_cpus}")
+               .with_config(**config_overrides)
+               .with_native("fifo_native", policy=1, priority=10)
+               .build())
+    return session.kernel, session.sched_class()
 
 
 class TestBasicExecution:
