@@ -369,14 +369,26 @@ def _metric_headline(metrics):
 
 
 def cmd_bench(args):
-    from repro.exp.bench import (default_specs, run_simperf, run_sweep,
-                                 smoke_specs)
+    from repro.exp.bench import (compare_simperf, default_specs,
+                                 run_simperf, run_sweep, smoke_specs)
+
+    if args.compare:
+        ok, lines = compare_simperf(args.simperf_out,
+                                    threshold=args.threshold)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("simperf regression detected")
+            return 1
+        return 0
 
     if args.simperf:
-        entry = run_simperf(args.simperf_out, rounds=args.rounds)
-        print(f"simperf: {entry['sim_ns_per_wall_s']:,.0f} simulated "
-              f"ns per wall second (pipe, {entry['rounds']} rounds, "
-              f"best of {entry['repeats']})")
+        entries = run_simperf(args.simperf_out, rounds=args.rounds)
+        for entry in entries:
+            print(f"simperf[{entry['workload']}]: "
+                  f"{entry['sim_ns_per_wall_s']:,.0f} simulated ns per "
+                  f"wall second ({entry['rounds']} rounds, best of "
+                  f"{entry['repeats']})")
         print(f"appended to {args.simperf_out}")
         return 0
 
@@ -509,10 +521,18 @@ def main(argv=None):
                    help="print the full payload instead of the table")
     p.add_argument("--simperf", action="store_true",
                    help="measure simulator speed (sim-ns per wall-second) "
-                        "and append to BENCH_simperf.json")
+                        "over the simperf workload sweep and append to "
+                        "BENCH_simperf.json")
     p.add_argument("--simperf-out", default="BENCH_simperf.json")
     p.add_argument("--rounds", type=int, default=2000,
-                   help="pipe rounds for --simperf")
+                   help="workload scale for --simperf (pipe rounds; other "
+                        "workloads derive their size from it)")
+    p.add_argument("--compare", action="store_true",
+                   help="diff each workload's newest simperf entry against "
+                        "its previous one; exit nonzero on regression")
+    p.add_argument("--threshold", type=float, default=0.20,
+                   help="relative regression threshold for --compare "
+                        "(0.20 = 20%%)")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

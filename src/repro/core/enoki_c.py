@@ -48,7 +48,24 @@ class EnokiSchedClass(SchedClass):
         self._extra_cost_ns = 0
         #: optional :class:`~repro.obs.profiler.CallbackProfiler`; when
         #: None (the default) dispatch takes the unprofiled fast path
-        self.profiler = None
+        self._profiler = None
+        #: cached "observability off" flag: True exactly when a kernel is
+        #: attached with no trace hook and no profiler installed, so the
+        #: dispatch fast path is a single attribute test.  Refreshed from
+        #: attach/detach, ``Kernel.set_trace`` (via ``on_trace_changed``),
+        #: and the ``profiler`` setter.
+        self._hot = False
+        #: pooled hot-path messages (pick/balance/tick dominate message
+        #: churn); reused only while no recorder is attached — the record
+        #: log is the one consumer that retains messages past the dispatch
+        self._msg_pick = msgs.MsgPickNextTask()
+        self._msg_balance = msgs.MsgBalance()
+        self._msg_tick = msgs.MsgTaskTick()
+        self._msg_select = msgs.MsgSelectTaskRq()
+        self._msg_wakeup = msgs.MsgTaskWakeup()
+        self._msg_blocked = msgs.MsgTaskBlocked()
+        self._msg_yield = msgs.MsgTaskYield()
+        self._msg_preempt = msgs.MsgTaskPreempt()
         #: set by a failover: every dispatch becomes a no-op and the
         #: fallback class (via the kernel's policy redirect) takes over
         self.failed = False
@@ -79,6 +96,41 @@ class EnokiSchedClass(SchedClass):
     @property
     def scheduler(self):
         return self.lib.scheduler
+
+    # ------------------------------------------------------------------
+    # observability fast-path cache
+    # ------------------------------------------------------------------
+
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value):
+        self._profiler = value
+        self._refresh_hot()
+
+    def _refresh_hot(self):
+        kernel = self.kernel
+        self._hot = (kernel is not None and kernel.trace is None
+                     and self._profiler is None)
+        # Spin locks may skip note_lock_op entirely while nobody (recorder
+        # or trace hook) consumes lock events.
+        env = self.lib.env
+        env._lock_quiet = (env.recorder is None
+                           and (kernel is None or kernel.trace is None))
+
+    def on_trace_changed(self):
+        """Notification from ``Kernel.set_trace``."""
+        self._refresh_hot()
+
+    def attach_kernel(self, kernel):
+        super().attach_kernel(kernel)
+        self._refresh_hot()
+
+    def detach_kernel(self):
+        super().detach_kernel()
+        self._refresh_hot()
 
     # ------------------------------------------------------------------
     # fault containment / injection configuration
@@ -116,11 +168,19 @@ class EnokiSchedClass(SchedClass):
     def invocation_cost_ns(self, hook):
         # The framework's dispatch overhead comes on top of the ordinary
         # in-kernel scheduling bookkeeping (paper: "100-150 ns of overhead
-        # per invocation of the Enoki scheduler").
-        cost = super().invocation_cost_ns(hook)
-        cost += self.kernel.config.enoki_call_ns
+        # per invocation of the Enoki scheduler").  The base lookup is
+        # inlined — this runs on every dispatch and the super() call showed
+        # up in profiles.
+        cfg = self.kernel.config
+        if hook == "pick_next_task":
+            cost = cfg.sched_pick_ns
+        elif hook == "balance":
+            cost = cfg.sched_balance_ns
+        else:
+            cost = cfg.sched_queue_ns
+        cost += cfg.enoki_call_ns
         if self.recorder is not None and self.recorder.active:
-            cost += self.kernel.config.record_overhead_ns
+            cost += cfg.record_overhead_ns
         if self._pending_blackout_ns:
             # First dispatch after an upgrade pays the remaining blackout.
             cost += self._pending_blackout_ns
@@ -157,6 +217,60 @@ class EnokiSchedClass(SchedClass):
     # ------------------------------------------------------------------
 
     def _dispatch(self, message, extra=None):
+        if self._hot:
+            # Zero-cost observability fast path: no trace hook and no
+            # profiler means no clock reads, no event tuples, no dicts —
+            # just the containment wrapper around the dispatch itself.
+            if self.failed:
+                return None
+            boundary = self.containment
+            lib = self.lib
+            rwlock = lib.rwlock
+            env = lib.env
+            if (not rwlock._threaded and not rwlock._writer
+                    and rwlock.on_event is None and not env._threaded
+                    and self.fault_injector is None
+                    and lib.recorder is None):
+                # lib.dispatch's single-threaded fast path, merged into
+                # this frame: one call per message instead of two.
+                rwlock._readers += 1
+                rwlock.read_acquisitions += 1
+                previous_thread = env._thread
+                env._thread = self._thread_hint
+                try:
+                    method = lib._method_cache.get(message.FUNCTION)
+                    if method is None:
+                        response = lib._invoke(message, extra)
+                    else:
+                        getter = message._ARG_GETTER
+                        if getter is None:
+                            response = method()
+                        elif message._ARG_MULTI:
+                            response = method(*getter(message))
+                        else:
+                            response = method(getter(message))
+                except Exception as exc:
+                    env._thread = previous_thread
+                    rwlock._readers -= 1
+                    if boundary is None:
+                        raise
+                    return boundary.contain(exc, message)
+                env._thread = previous_thread
+                rwlock._readers -= 1
+                # boundary.after_dispatch is a no-op without an injector
+                # (checked above), so the post-dispatch hook is skipped.
+                return response
+            if boundary is None:
+                return lib.dispatch(message, thread=self._thread_hint,
+                                    extra=extra)
+            try:
+                response = lib.dispatch(
+                    message, thread=self._thread_hint, extra=extra
+                )
+            except Exception as exc:
+                return boundary.contain(exc, message)
+            boundary.after_dispatch(message)
+            return response
         if self.failed:
             # The scheduler was failed over; its dispatches are no-ops
             # (the fallback class owns its tasks via the policy redirect).
@@ -214,29 +328,36 @@ class EnokiSchedClass(SchedClass):
         # the kernel core runs one context at a time so this is exact.
         return self._thread_hint
 
+    #: the CPU whose hook is being handled; assigned directly at every
+    #: hook entry (a method wrapper here showed up in profiles)
     _thread_hint = -1
-
-    def _with_thread(self, cpu):
-        self._thread_hint = cpu
-        return cpu
 
     # ------------------------------------------------------------------
     # SchedClass: placement
     # ------------------------------------------------------------------
 
     def select_task_rq(self, task, prev_cpu, wake_flags, waker_cpu=-1):
-        self._with_thread(prev_cpu if prev_cpu >= 0 else 0)
+        self._thread_hint = prev_cpu if prev_cpu >= 0 else 0
         allowed = (
             tuple(sorted(task.allowed_cpus))
             if task.allowed_cpus is not None else None
         )
-        cpu = self._dispatch(msgs.MsgSelectTaskRq(
-            pid=task.pid,
-            prev_cpu=prev_cpu,
-            waker_cpu=waker_cpu,
-            wake_flags=wake_flags,
-            allowed_cpus=allowed,
-        ))
+        if self.recorder is None:
+            message = self._msg_select
+            message.pid = task.pid
+            message.prev_cpu = prev_cpu
+            message.waker_cpu = waker_cpu
+            message.wake_flags = wake_flags
+            message.allowed_cpus = allowed
+        else:
+            message = msgs.MsgSelectTaskRq(
+                pid=task.pid,
+                prev_cpu=prev_cpu,
+                waker_cpu=waker_cpu,
+                wake_flags=wake_flags,
+                allowed_cpus=allowed,
+            )
+        cpu = self._dispatch(message)
         return self._sanitize_cpu(cpu, task, prev_cpu)
 
     def _sanitize_cpu(self, cpu, task, prev_cpu):
@@ -261,7 +382,7 @@ class EnokiSchedClass(SchedClass):
     # ------------------------------------------------------------------
 
     def task_new(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         token = self.tokens.issue(task.pid, cpu)
         self._dispatch(msgs.MsgTaskNew(
             pid=task.pid,
@@ -273,60 +394,101 @@ class EnokiSchedClass(SchedClass):
         ))
 
     def task_wakeup(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         token = self.tokens.issue(task.pid, cpu)
-        self._dispatch(msgs.MsgTaskWakeup(
-            pid=task.pid,
-            agent_data=0,
-            deferrable=bool(task.wakeup_flags),
-            last_run_cpu=task.cpu,
-            wake_up_cpu=cpu,
-            waker_cpu=cpu,
-            sched=token,
-        ))
+        if self.recorder is None:
+            message = self._msg_wakeup
+            message.pid = task.pid
+            message.agent_data = 0
+            message.deferrable = bool(task.wakeup_flags)
+            message.last_run_cpu = task.cpu
+            message.wake_up_cpu = cpu
+            message.waker_cpu = cpu
+            message.sched = token
+        else:
+            message = msgs.MsgTaskWakeup(
+                pid=task.pid,
+                agent_data=0,
+                deferrable=bool(task.wakeup_flags),
+                last_run_cpu=task.cpu,
+                wake_up_cpu=cpu,
+                waker_cpu=cpu,
+                sched=token,
+            )
+        self._dispatch(message)
 
     def task_blocked(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         self.tokens.revoke(task.pid)
-        self._dispatch(msgs.MsgTaskBlocked(
-            pid=task.pid,
-            runtime=task.sum_exec_runtime_ns,
-            cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
-            cpu=cpu,
-            from_switchto=False,
-        ))
+        if self.recorder is None:
+            message = self._msg_blocked
+            message.pid = task.pid
+            message.runtime = task.sum_exec_runtime_ns
+            message.cpu_seqnum = self.kernel.rqs[cpu].nr_switches
+            message.cpu = cpu
+            message.from_switchto = False
+        else:
+            message = msgs.MsgTaskBlocked(
+                pid=task.pid,
+                runtime=task.sum_exec_runtime_ns,
+                cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
+                cpu=cpu,
+                from_switchto=False,
+            )
+        self._dispatch(message)
 
     def task_yield(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         token = self.tokens.issue(task.pid, cpu)
-        self._dispatch(msgs.MsgTaskYield(
-            pid=task.pid,
-            runtime=task.sum_exec_runtime_ns,
-            cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
-            cpu=cpu,
-            from_switchto=False,
-            sched=token,
-        ))
+        if self.recorder is None:
+            message = self._msg_yield
+            message.pid = task.pid
+            message.runtime = task.sum_exec_runtime_ns
+            message.cpu_seqnum = self.kernel.rqs[cpu].nr_switches
+            message.cpu = cpu
+            message.from_switchto = False
+            message.sched = token
+        else:
+            message = msgs.MsgTaskYield(
+                pid=task.pid,
+                runtime=task.sum_exec_runtime_ns,
+                cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
+                cpu=cpu,
+                from_switchto=False,
+                sched=token,
+            )
+        self._dispatch(message)
 
     def task_preempt(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         token = self.tokens.issue(task.pid, cpu)
-        self._dispatch(msgs.MsgTaskPreempt(
-            pid=task.pid,
-            runtime=task.sum_exec_runtime_ns,
-            cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
-            cpu=cpu,
-            from_switchto=False,
-            was_latched=False,
-            sched=token,
-        ))
+        if self.recorder is None:
+            message = self._msg_preempt
+            message.pid = task.pid
+            message.runtime = task.sum_exec_runtime_ns
+            message.cpu_seqnum = self.kernel.rqs[cpu].nr_switches
+            message.cpu = cpu
+            message.from_switchto = False
+            message.was_latched = False
+            message.sched = token
+        else:
+            message = msgs.MsgTaskPreempt(
+                pid=task.pid,
+                runtime=task.sum_exec_runtime_ns,
+                cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
+                cpu=cpu,
+                from_switchto=False,
+                was_latched=False,
+                sched=token,
+            )
+        self._dispatch(message)
 
     def task_dead(self, pid):
         self.tokens.revoke(pid)
         self._dispatch(msgs.MsgTaskDead(pid=pid))
 
     def task_departed(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         returned = self._dispatch(msgs.MsgTaskDeparted(
             pid=task.pid,
             cpu_seqnum=self.kernel.rqs[cpu].nr_switches,
@@ -340,11 +502,11 @@ class EnokiSchedClass(SchedClass):
             self.tokens.revoke(task.pid)
 
     def task_prio_changed(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         self._dispatch(msgs.MsgTaskPrioChanged(pid=task.pid, prio=task.nice))
 
     def task_affinity_changed(self, task, cpu):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         mask = (
             tuple(sorted(task.allowed_cpus))
             if task.allowed_cpus is not None
@@ -361,18 +523,25 @@ class EnokiSchedClass(SchedClass):
     def pick_next_task(self, cpu):
         if self.failed:
             return None
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         rq = self.kernel.rqs[cpu]
         mine = {
             pid: t.sum_exec_runtime_ns
             for pid, t in rq.queued.items() if t.policy == self.policy
         }
-        response = self._dispatch(msgs.MsgPickNextTask(
-            cpu=cpu,
-            curr_pid=None,
-            curr_runtime=None,
-            runtimes=mine,
-        ))
+        if self.recorder is None:
+            # Pool the highest-churn message: the record log is the only
+            # consumer that retains messages beyond the dispatch.
+            message = self._msg_pick
+            message.cpu = cpu
+            message.curr_pid = None
+            message.curr_runtime = None
+            message.runtimes = mine
+        else:
+            message = msgs.MsgPickNextTask(
+                cpu=cpu, curr_pid=None, curr_runtime=None, runtimes=mine,
+            )
+        response = self._dispatch(message)
         if response is None:
             return None
         token = response
@@ -407,8 +576,13 @@ class EnokiSchedClass(SchedClass):
     def balance(self, cpu):
         if self.failed:
             return None
-        self._with_thread(cpu)
-        pid = self._dispatch(msgs.MsgBalance(cpu=cpu))
+        self._thread_hint = cpu
+        if self.recorder is None:
+            message = self._msg_balance
+            message.cpu = cpu
+        else:
+            message = msgs.MsgBalance(cpu=cpu)
+        pid = self._dispatch(message)
         if pid is None:
             return None
         task = self.kernel.tasks.get(pid)
@@ -426,12 +600,12 @@ class EnokiSchedClass(SchedClass):
         return pid
 
     def balance_err(self, cpu, pid):
-        self._with_thread(cpu)
+        self._thread_hint = cpu
         self._dispatch(msgs.MsgBalanceErr(cpu=cpu, pid=pid, err=1,
                                           sched=None))
 
     def migrate_task_rq(self, task, new_cpu):
-        self._with_thread(new_cpu)
+        self._thread_hint = new_cpu
         token = self.tokens.issue(task.pid, new_cpu)
         old = self._dispatch(msgs.MsgMigrateTaskRq(
             pid=task.pid, new_cpu=new_cpu, sched=token,
@@ -449,13 +623,22 @@ class EnokiSchedClass(SchedClass):
         pass
 
     def task_tick(self, cpu, task):
-        self._with_thread(cpu)
-        self._dispatch(msgs.MsgTaskTick(
-            cpu=cpu,
-            queued=self.kernel.rqs[cpu].nr_queued > 0,
-            pid=task.pid if task is not None else None,
-            runtime=task.sum_exec_runtime_ns if task is not None else 0,
-        ))
+        self._thread_hint = cpu
+        if self.recorder is None:
+            message = self._msg_tick
+            message.cpu = cpu
+            message.queued = self.kernel.rqs[cpu].nr_queued > 0
+            message.pid = task.pid if task is not None else None
+            message.runtime = (task.sum_exec_runtime_ns
+                               if task is not None else 0)
+        else:
+            message = msgs.MsgTaskTick(
+                cpu=cpu,
+                queued=self.kernel.rqs[cpu].nr_queued > 0,
+                pid=task.pid if task is not None else None,
+                runtime=task.sum_exec_runtime_ns if task is not None else 0,
+            )
+        self._dispatch(message)
 
     def wakeup_preempt(self, cpu, task):
         # Enoki schedulers re-evaluate at the next tick (or via their own
@@ -468,15 +651,28 @@ class EnokiSchedClass(SchedClass):
     # ------------------------------------------------------------------
 
     def arm_resched_timer(self, cpu, delay_ns):
+        # The arm cost is charged unconditionally — the scheduler asked for
+        # a (re-)arm either way, and virtual time must not depend on the
+        # dedup below.
+        config = self.kernel.config
+        self._extra_cost_ns += config.timer_arm_cost_ns
         existing = self._armed_timers.get(cpu)
         if existing is not None and existing.active:
+            expiry = (self.kernel.now
+                      + max(delay_ns, config.timer_min_delay_ns)
+                      + config.timer_program_ns)
+            if existing.handle is not None \
+                    and existing.handle.time == expiry:
+                # Identical re-arm: the armed timer already fires at this
+                # exact instant, so skip the cancel + heap churn.
+                return
             existing.cancel()
-        self._extra_cost_ns += self.kernel.config.timer_arm_cost_ns
         self._armed_timers[cpu] = self.kernel.timers.arm(
-            delay_ns,
-            lambda _t, c=cpu: self.kernel.resched_cpu(c, when="now"),
-            tag=("enoki-resched", cpu),
+            delay_ns, self._resched_fire, tag=("enoki-resched", cpu),
         )
+
+    def _resched_fire(self, timer):
+        self.kernel.resched_cpu(timer.tag[1], when="now")
 
     def consume_extra_cost_ns(self):
         cost = self._extra_cost_ns
@@ -547,7 +743,7 @@ class EnokiSchedClass(SchedClass):
                                   cpu=task.cpu, pid=task.pid,
                                   queue=queue_id)
             return False
-        self._with_thread(task.cpu)
+        self._thread_hint = task.cpu
         if self.kernel.trace is not None:
             self.kernel.trace("hint_enqueue", t=self.kernel.now,
                               cpu=task.cpu, pid=task.pid, queue=queue_id,

@@ -19,7 +19,7 @@ from typing import Any
 from repro.core.errors import QueueError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UserMessage:
     """A user-to-kernel hint: sender pid plus scheduler-defined payload."""
 
@@ -27,7 +27,7 @@ class UserMessage:
     payload: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RevMessage:
     """A kernel-to-user message with a scheduler-defined payload."""
 

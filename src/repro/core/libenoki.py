@@ -9,9 +9,7 @@ timers, reverse hint queues).
 """
 
 import threading
-from dataclasses import fields
 
-from repro.core import messages as msgs
 from repro.core.errors import EnokiError
 from repro.core.hints import UserMessage
 from repro.core.rwlock import SchedulerRwLock
@@ -42,21 +40,43 @@ class EnokiSpinLock:
                 f"lock {self.name} re-acquired while held by thread "
                 f"{self._held_by} (self-deadlock)"
             )
-        self._held_by = self._env.current_thread
-        self._env.note_lock_op("acquire", self.lock_id)
+        env = self._env
+        self._held_by = (env._thread if not env._threaded
+                         else env.current_thread)
+        if not env._lock_quiet:
+            env.note_lock_op("acquire", self.lock_id)
 
     def release(self):
         if self._held_by is None:
             raise EnokiError(f"lock {self.name} released while not held")
         self._held_by = None
-        self._env.note_lock_op("release", self.lock_id)
+        env = self._env
+        if not env._lock_quiet:
+            env.note_lock_op("release", self.lock_id)
 
     def __enter__(self):
-        self.acquire()
+        # acquire(), inlined: `with lock:` brackets every scheduler
+        # callback, so the context-manager protocol is itself hot.
+        if self._held_by is not None:
+            raise EnokiError(
+                f"lock {self.name} re-acquired while held by thread "
+                f"{self._held_by} (self-deadlock)"
+            )
+        env = self._env
+        self._held_by = (env._thread if not env._threaded
+                         else env.current_thread)
+        if not env._lock_quiet:
+            env.note_lock_op("acquire", self.lock_id)
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self.release()
+        # release(), inlined (see __enter__).
+        if self._held_by is None:
+            raise EnokiError(f"lock {self.name} released while not held")
+        self._held_by = None
+        env = self._env
+        if not env._lock_quiet:
+            env.note_lock_op("release", self.lock_id)
         return False
 
 
@@ -71,18 +91,39 @@ class EnokiEnv:
     def __init__(self, enoki_c=None, recorder=None):
         self._enoki_c = enoki_c
         self.recorder = recorder
-        # Thread-local so the threaded replayer can dispatch concurrently.
+        # A plain attribute carries the current thread id in the (default)
+        # single-threaded simulation; the threaded replayer switches to
+        # thread-local storage via make_threaded() so concurrent dispatches
+        # don't clobber each other.
+        self._threaded = False
+        self._thread = -1
         self._tls = threading.local()
         self._next_lock_id = 0
         self.locks = []
+        #: cached "no lock observers" flag: True while neither a recorder
+        #: nor a kernel trace hook wants lock events, letting spin-lock
+        #: acquire/release skip ``note_lock_op`` entirely.  Kept fresh by
+        #: the hosting shim's ``_refresh_hot`` (trace attach/detach goes
+        #: through ``Kernel.set_trace``).  False (always notify) is the
+        #: safe default for envs without a shim.
+        self._lock_quiet = False
+
+    def make_threaded(self):
+        """Route ``current_thread`` through thread-local storage."""
+        self._threaded = True
 
     @property
     def current_thread(self):
-        return getattr(self._tls, "thread", -1)
+        if self._threaded:
+            return getattr(self._tls, "thread", -1)
+        return self._thread
 
     @current_thread.setter
     def current_thread(self, value):
-        self._tls.thread = value
+        if self._threaded:
+            self._tls.thread = value
+        else:
+            self._thread = value
 
     # -- locks ------------------------------------------------------------
 
@@ -147,6 +188,7 @@ class LibEnoki:
         )
         self.recorder = recorder
         self.env = env if env is not None else EnokiEnv(enoki_c, recorder)
+        self._method_cache = {}    # FUNCTION name -> bound trait method
         scheduler.set_env(self.env)
         scheduler.module_init()
 
@@ -159,12 +201,55 @@ class LibEnoki:
         the real implementation shares memory under the message-passing
         interface (section 6).
         """
-        if not self.rwlock.acquire_read(blocking=False):
+        rwlock = self.rwlock
+        env = self.env
+        if (not rwlock._threaded and not rwlock._writer
+                and rwlock.on_event is None and not env._threaded):
+            # Single-threaded fast path: the read "acquire" is counter
+            # arithmetic and the thread id is a plain attribute swap —
+            # protocol state stays exactly as the slow path leaves it.
+            rwlock._readers += 1
+            rwlock.read_acquisitions += 1
+            previous_thread = env._thread
+            env._thread = thread
+            try:
+                shim = env._enoki_c
+                injector = (None if shim is None
+                            else shim.fault_injector)
+                if injector is not None:
+                    injector.on_dispatch(message.FUNCTION)
+                    response = self._invoke(message, extra)
+                    response = injector.filter_response(
+                        message.FUNCTION, response)
+                else:
+                    # _invoke's common path, inlined (one call per message
+                    # adds up).  The method cache never holds out-of-band
+                    # functions, so a hit is always the plain-call path; a
+                    # miss falls through to the full helper.
+                    method = self._method_cache.get(message.FUNCTION)
+                    if method is None:
+                        response = self._invoke(message, extra)
+                    else:
+                        getter = message._ARG_GETTER
+                        if getter is None:
+                            response = method()
+                        elif message._ARG_MULTI:
+                            response = method(*getter(message))
+                        else:
+                            response = method(getter(message))
+            finally:
+                env._thread = previous_thread
+                rwlock._readers -= 1
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.note_call(message, response, thread)
+            return response
+        if not rwlock.acquire_read(blocking=False):
             raise EnokiError(
                 "dispatch while the upgrade writer holds the lock"
             )
-        previous_thread = self.env.current_thread
-        self.env.current_thread = thread
+        previous_thread = env.current_thread
+        env.current_thread = thread
         try:
             injector = self._injector()
             if injector is not None:
@@ -174,8 +259,8 @@ class LibEnoki:
                 response = injector.filter_response(message.FUNCTION,
                                                     response)
         finally:
-            self.env.current_thread = previous_thread
-            self.rwlock.release_read()
+            env.current_thread = previous_thread
+            rwlock.release_read()
         if self.recorder is not None:
             self.recorder.note_call(message, response, thread)
         return response
@@ -209,23 +294,39 @@ class LibEnoki:
         shim = self.env._enoki_c
         return None if shim is None else shim.fault_injector
 
+    #: messages whose payload travels out of band (``extra``) rather than
+    #: as positional message fields
+    _OUT_OF_BAND = frozenset((
+        "parse_hint", "register_queue", "register_reverse_queue",
+        "reregister_prepare", "reregister_init",
+    ))
+
     def _invoke(self, message, extra):
         sched = self.scheduler
-        if isinstance(message, msgs.MsgParseHint):
-            return sched.parse_hint(UserMessage(message.pid, message.payload))
-        if isinstance(message, msgs.MsgRegisterQueue):
-            return sched.register_queue(extra)
-        if isinstance(message, msgs.MsgRegisterReverseQueue):
-            return sched.register_reverse_queue(extra)
-        if isinstance(message, msgs.MsgReregisterPrepare):
-            return sched.reregister_prepare()
-        if isinstance(message, msgs.MsgReregisterInit):
+        func = message.FUNCTION
+        if func in self._OUT_OF_BAND:
+            if func == "parse_hint":
+                return sched.parse_hint(
+                    UserMessage(message.pid, message.payload)
+                )
+            if func == "register_queue":
+                return sched.register_queue(extra)
+            if func == "register_reverse_queue":
+                return sched.register_reverse_queue(extra)
+            if func == "reregister_prepare":
+                return sched.reregister_prepare()
             return sched.reregister_init(extra)
-        method = getattr(sched, message.FUNCTION, None)
+        method = self._method_cache.get(func)
         if method is None:
-            raise EnokiError(
-                f"scheduler {type(sched).__name__} lacks "
-                f"{message.FUNCTION}"
-            )
-        args = [getattr(message, f.name) for f in fields(message)]
-        return method(*args)
+            method = getattr(sched, func, None)
+            if method is None:
+                raise EnokiError(
+                    f"scheduler {type(sched).__name__} lacks {func}"
+                )
+            self._method_cache[func] = method
+        getter = message._ARG_GETTER
+        if getter is None:
+            return method()
+        if message._ARG_MULTI:
+            return method(*getter(message))
+        return method(getter(message))

@@ -16,6 +16,7 @@ descriptions and re-minted by the replay engine's registry.
 """
 
 from dataclasses import dataclass, field, fields
+from operator import attrgetter
 from typing import Any, Optional
 
 from repro.core.schedulable import Schedulable
@@ -25,6 +26,13 @@ _MESSAGE_TYPES = {}
 
 def _register(cls):
     _MESSAGE_TYPES[cls.__name__] = cls
+    # Cache the positional-argument order (and a C-level bulk getter) once
+    # per class so the dispatch hot path never calls dataclasses.fields()
+    # or a per-field getattr loop per message.
+    names = tuple(f.name for f in fields(cls))
+    cls._ARG_NAMES = names
+    cls._ARG_GETTER = attrgetter(*names) if names else None
+    cls._ARG_MULTI = len(names) > 1
     return cls
 
 
@@ -33,7 +41,7 @@ def message_type(name):
     return _MESSAGE_TYPES[name]
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base message: named after the trait function it invokes."""
 
@@ -69,7 +77,7 @@ class Message:
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgPickNextTask(Message):
     FUNCTION = "pick_next_task"
     cpu: int = 0
@@ -81,7 +89,7 @@ class MsgPickNextTask(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgPntErr(Message):
     FUNCTION = "pnt_err"
     cpu: int = 0
@@ -91,7 +99,7 @@ class MsgPntErr(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskNew(Message):
     FUNCTION = "task_new"
     pid: int = 0
@@ -103,7 +111,7 @@ class MsgTaskNew(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskWakeup(Message):
     FUNCTION = "task_wakeup"
     pid: int = 0
@@ -116,7 +124,7 @@ class MsgTaskWakeup(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskBlocked(Message):
     FUNCTION = "task_blocked"
     pid: int = 0
@@ -127,7 +135,7 @@ class MsgTaskBlocked(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskPreempt(Message):
     FUNCTION = "task_preempt"
     pid: int = 0
@@ -140,7 +148,7 @@ class MsgTaskPreempt(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskYield(Message):
     FUNCTION = "task_yield"
     pid: int = 0
@@ -152,14 +160,14 @@ class MsgTaskYield(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskDead(Message):
     FUNCTION = "task_dead"
     pid: int = 0
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskDeparted(Message):
     FUNCTION = "task_departed"
     pid: int = 0
@@ -170,7 +178,7 @@ class MsgTaskDeparted(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskAffinityChanged(Message):
     FUNCTION = "task_affinity_changed"
     pid: int = 0
@@ -178,7 +186,7 @@ class MsgTaskAffinityChanged(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskPrioChanged(Message):
     FUNCTION = "task_prio_changed"
     pid: int = 0
@@ -186,7 +194,7 @@ class MsgTaskPrioChanged(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgTaskTick(Message):
     FUNCTION = "task_tick"
     cpu: int = 0
@@ -196,7 +204,7 @@ class MsgTaskTick(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgSelectTaskRq(Message):
     FUNCTION = "select_task_rq"
     pid: int = 0
@@ -207,7 +215,7 @@ class MsgSelectTaskRq(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgMigrateTaskRq(Message):
     FUNCTION = "migrate_task_rq"
     pid: int = 0
@@ -216,14 +224,14 @@ class MsgMigrateTaskRq(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgBalance(Message):
     FUNCTION = "balance"
     cpu: int = 0
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgBalanceErr(Message):
     FUNCTION = "balance_err"
     cpu: int = 0
@@ -233,21 +241,21 @@ class MsgBalanceErr(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgRegisterQueue(Message):
     FUNCTION = "register_queue"
     queue_id: int = 0
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgRegisterReverseQueue(Message):
     FUNCTION = "register_reverse_queue"
     queue_id: int = 0
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgEnterQueue(Message):
     FUNCTION = "enter_queue"
     queue_id: int = 0
@@ -255,21 +263,21 @@ class MsgEnterQueue(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgUnregisterQueue(Message):
     FUNCTION = "unregister_queue"
     queue_id: int = 0
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgUnregisterRevQueue(Message):
     FUNCTION = "unregister_rev_queue"
     queue_id: int = 0
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgParseHint(Message):
     FUNCTION = "parse_hint"
     pid: int = 0
@@ -277,13 +285,13 @@ class MsgParseHint(Message):
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgReregisterPrepare(Message):
     FUNCTION = "reregister_prepare"
 
 
 @_register
-@dataclass
+@dataclass(slots=True)
 class MsgReregisterInit(Message):
     FUNCTION = "reregister_init"
     # The transfer payload travels out of band (it is live state, passed

@@ -216,6 +216,11 @@ class ReplayEngine:
         start = time.perf_counter()
         env = _ReplayEnv(self._lock_orders())
         lib = self._build_lib(env)
+        # Dispatches arrive from real OS threads here, so the rwlock needs
+        # actual mutex/condition synchronisation instead of the simulator's
+        # single-threaded counter fast path.
+        lib.rwlock.set_threaded(True)
+        env.make_threaded()
         result = ReplayResult()
         result_mutex = threading.Lock()
         by_thread = {}

@@ -31,6 +31,12 @@ class SchedulerRwLock:
         self._readers_ok = threading.Condition(self._mutex)
         self._readers = 0
         self._writer = False
+        #: False (the default) selects the single-threaded fast path: the
+        #: simulator runs one kernel context at a time, so the protocol
+        #: checks reduce to plain counter arithmetic with no mutex or
+        #: condition traffic.  The threaded replayer flips this on via
+        #: :meth:`set_threaded` before dispatching from real OS threads.
+        self._threaded = False
         self.read_acquisitions = 0
         self.write_acquisitions = 0
         #: optional ``callback(op, lock_name)`` observability hook; ``op``
@@ -39,30 +45,55 @@ class SchedulerRwLock:
         #: fast path so disabled tracing costs nothing measurable.
         self.on_event = None
 
+    def set_threaded(self, threaded=True):
+        """Select real mutex/condition synchronisation (threaded replay).
+
+        Call before any concurrent use; the protocol counters carry over.
+        """
+        self._threaded = bool(threaded)
+
     # -- read side --------------------------------------------------------
 
     def acquire_read(self, blocking=True):
         """Enter a dispatch.  Returns False when the writer holds the lock
         and ``blocking`` is False (the caller models the delay instead)."""
-        with self._mutex:
+        if not self._threaded:
             if self._writer:
                 if not blocking:
                     return False
-                while self._writer:
-                    self._readers_ok.wait()
+                raise UpgradeError(
+                    f"{self.name}: blocking read acquire with the writer "
+                    "held would deadlock without threads"
+                )
             self._readers += 1
             self.read_acquisitions += 1
+        else:
+            with self._mutex:
+                if self._writer:
+                    if not blocking:
+                        return False
+                    while self._writer:
+                        self._readers_ok.wait()
+                self._readers += 1
+                self.read_acquisitions += 1
         if self.on_event is not None:
             self.on_event("read_acquire", self.name)
         return True
 
     def release_read(self):
-        with self._mutex:
+        if not self._threaded:
             if self._readers <= 0:
                 raise UpgradeError(f"{self.name}: read release underflow")
             self._readers -= 1
-            if self._readers == 0:
-                self._readers_ok.notify_all()
+        else:
+            with self._mutex:
+                if self._readers <= 0:
+                    raise UpgradeError(
+                        f"{self.name}: read release underflow"
+                    )
+                self._readers -= 1
+                if self._readers == 0:
+                    self._readers_ok.notify_all()
         if self.on_event is not None:
             self.on_event("read_release", self.name)
 
@@ -71,31 +102,55 @@ class SchedulerRwLock:
     def acquire_write(self):
         """Begin an upgrade.  In the simulation this must succeed
         immediately (readers have drained); under real threads it waits."""
-        with self._mutex:
-            while self._writer or self._readers > 0:
-                self._readers_ok.wait()
+        if not self._threaded:
+            if self._writer or self._readers > 0:
+                raise UpgradeError(
+                    f"{self.name}: write acquire with readers in flight "
+                    "would deadlock without threads"
+                )
             self._writer = True
             self.write_acquisitions += 1
+        else:
+            with self._mutex:
+                while self._writer or self._readers > 0:
+                    self._readers_ok.wait()
+                self._writer = True
+                self.write_acquisitions += 1
         if self.on_event is not None:
             self.on_event("write_acquire", self.name)
 
     def try_acquire_write(self):
         """Non-blocking write acquire for the simulator's upgrade path."""
-        with self._mutex:
+        if not self._threaded:
             if self._writer or self._readers > 0:
                 return False
             self._writer = True
             self.write_acquisitions += 1
+        else:
+            with self._mutex:
+                if self._writer or self._readers > 0:
+                    return False
+                self._writer = True
+                self.write_acquisitions += 1
         if self.on_event is not None:
             self.on_event("write_acquire", self.name)
         return True
 
     def release_write(self):
-        with self._mutex:
+        if not self._threaded:
             if not self._writer:
-                raise UpgradeError(f"{self.name}: write release without hold")
+                raise UpgradeError(
+                    f"{self.name}: write release without hold"
+                )
             self._writer = False
-            self._readers_ok.notify_all()
+        else:
+            with self._mutex:
+                if not self._writer:
+                    raise UpgradeError(
+                        f"{self.name}: write release without hold"
+                    )
+                self._writer = False
+                self._readers_ok.notify_all()
         if self.on_event is not None:
             self.on_event("write_release", self.name)
 

@@ -352,51 +352,173 @@ def default_specs(seed=0):
 # simulator self-benchmark
 # ----------------------------------------------------------------------
 
-def run_simperf(path="BENCH_simperf.json", rounds=2000, repeats=3,
-                rev=None):
-    """Measure the simulator itself — simulated ns per wall second on the
-    pipe workload — and append the entry to the ``path`` trajectory.
+#: name of the simperf sweep definition, recorded in the trajectory's
+#: ``meta`` so entries from different sweep generations are attributable
+SIMPERF_SWEEP = "hotpath-v2"
 
-    This is the number future optimisation PRs must move: it captures how
-    fast the discrete-event core interprets the hottest op mix (pipe
-    wakeups + dispatches) on this machine.
-    """
-    rev = rev if rev is not None else git_rev()
-    spec = ScenarioSpec(
-        name="simperf-pipe", sched="wfq", seed=derive_seed(0, 0),
-        workload="pipe", workload_options={"rounds": rounds})
-    best = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        metrics = run_spec(spec)
-        wall = time.perf_counter() - start
-        rate = metrics["simulated_ns"] / wall if wall > 0 else 0.0
-        if best is None or rate > best["sim_ns_per_wall_s"]:
-            best = {
-                "sim_ns_per_wall_s": rate,
-                "wall_s": wall,
-                "simulated_ns": metrics["simulated_ns"],
-                "latency_us_per_message":
-                    metrics["latency_us_per_message"],
-            }
-    entry = {
-        "git_rev": rev,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "workload": "pipe",
-        "rounds": rounds,
-        "repeats": repeats,
-        **best,
-    }
-    trajectory = {"kind": SIMPERF_KIND, "entries": []}
+#: workloads in the ``--simperf`` sweep, in run order.  ``pipe`` is the
+#: historical headline number (wakeup/dispatch hot loop); ``wfq-bench``
+#: stresses run-queue churn, ``shinjuku-tail`` the preemption-heavy
+#: single-dispatcher path, and ``fuzz-episode`` the verify stack
+#: (sanitizers + oracles attached) so the observability fast path's cost
+#: under observation is tracked too.
+SIMPERF_WORKLOADS = ("pipe", "wfq-bench", "shinjuku-tail", "fuzz-episode")
+
+
+def _simperf_spec(workload, rounds):
+    """The ScenarioSpec behind one spec-driven simperf workload."""
+    if workload == "pipe":
+        return ScenarioSpec(
+            name="simperf-pipe", sched="wfq", seed=derive_seed(0, 0),
+            workload="pipe", workload_options={"rounds": rounds})
+    if workload == "wfq-bench":
+        return ScenarioSpec(
+            name="simperf-wfq-bench", sched="wfq", topology="smp:4",
+            seed=derive_seed(0, 1), workload="hackbench",
+            workload_options={"groups": 2, "fds": 4,
+                              "loops": max(5, rounds // 50)})
+    if workload == "shinjuku-tail":
+        return ScenarioSpec(
+            name="simperf-shinjuku-tail", sched="shinjuku",
+            topology="smp:4", seed=derive_seed(0, 2), workload="schbench",
+            workload_options={"message_threads": 2,
+                              "workers_per_thread": 4,
+                              "warmup_ns": 20_000_000,
+                              "duration_ns": max(50_000_000,
+                                                 rounds * 100_000)})
+    raise SimError(f"unknown simperf workload {workload!r}")
+
+
+def _run_fuzz_episodes(rounds):
+    """Run a fixed batch of fuzz episodes; returns (simulated_ns, extra)."""
+    from repro.verify.fuzz import generate_episode, run_episode
+    episodes = max(1, min(4, rounds // 500))
+    simulated = 0
+    for seed in range(episodes):
+        result = run_episode(generate_episode(seed, sched="wfq"))
+        simulated += result.sim_ns
+    return simulated, {"episodes": episodes}
+
+
+def _measure_simperf(workload, rounds):
+    """One timed execution; returns (rate, wall_s, simulated_ns, extra)."""
+    start = time.perf_counter()
+    if workload == "fuzz-episode":
+        simulated, extra = _run_fuzz_episodes(rounds)
+    else:
+        metrics = run_spec(_simperf_spec(workload, rounds))
+        simulated = metrics["simulated_ns"]
+        extra = {}
+        if "latency_us_per_message" in metrics:
+            extra["latency_us_per_message"] = \
+                metrics["latency_us_per_message"]
+    wall = time.perf_counter() - start
+    rate = simulated / wall if wall > 0 else 0.0
+    return rate, wall, simulated, extra
+
+
+def load_simperf(path):
+    """Read an existing simperf trajectory, or a fresh empty one."""
+    trajectory = {"kind": SIMPERF_KIND, "entries": [],
+                  "meta": {"sweep": SIMPERF_SWEEP}}
     try:
         with open(path) as handle:
             existing = json.load(handle)
         if existing.get("kind") == SIMPERF_KIND:
             trajectory = existing
+            trajectory.setdefault("meta", {})["sweep"] = SIMPERF_SWEEP
     except (OSError, ValueError):
         pass
+    return trajectory
+
+
+def append_simperf(trajectory, entry):
+    """Append ``entry``, replacing any earlier entry for the same
+    ``(git_rev, workload)`` pair so repeated local runs don't accumulate
+    duplicates (the trajectory tracks revisions, not invocations)."""
+    key = (entry.get("git_rev"), entry.get("workload"))
+    trajectory["entries"] = [
+        e for e in trajectory["entries"]
+        if (e.get("git_rev"), e.get("workload")) != key
+    ]
     trajectory["entries"].append(entry)
+    return trajectory
+
+
+def run_simperf(path="BENCH_simperf.json", rounds=2000, repeats=3,
+                rev=None, workloads=SIMPERF_WORKLOADS):
+    """Measure the simulator itself — simulated ns per wall second — over
+    the simperf sweep, appending one entry per workload to ``path``.
+
+    These are the numbers future optimisation PRs must move: each
+    workload exercises a different hot-path mix (see
+    :data:`SIMPERF_WORKLOADS`).  Each entry is best-of-``repeats`` to
+    shed scheduler/allocator noise; appends dedupe by
+    ``(git_rev, workload)``.  Returns the list of appended entries.
+    """
+    rev = rev if rev is not None else git_rev()
+    entries = []
+    for workload in workloads:
+        best = None
+        for _ in range(repeats):
+            rate, wall, simulated, extra = _measure_simperf(workload,
+                                                            rounds)
+            if best is None or rate > best["sim_ns_per_wall_s"]:
+                best = {"sim_ns_per_wall_s": rate, "wall_s": wall,
+                        "simulated_ns": simulated, **extra}
+        entries.append({
+            "git_rev": rev,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                       time.gmtime()),
+            "workload": workload,
+            "rounds": rounds,
+            "repeats": repeats,
+            **best,
+        })
+    trajectory = load_simperf(path)
+    for entry in entries:
+        append_simperf(trajectory, entry)
     with open(path, "w") as handle:
         json.dump(trajectory, handle, indent=2)
         handle.write("\n")
-    return entry
+    return entries
+
+
+def compare_simperf(trajectory, threshold=0.20, workloads=None):
+    """Diff each workload's newest entry against its previous one.
+
+    The previous entry is the committed baseline in CI (appends dedupe by
+    revision, so a fresh run at a new rev sits after the baseline rev's
+    entry).  Returns ``(ok, lines)`` where ``ok`` is False when any
+    workload regressed by more than ``threshold`` (a fraction, 0.20 =
+    20%); ``lines`` is a human-readable report.
+    """
+    if isinstance(trajectory, str):
+        trajectory = load_simperf(trajectory)
+    by_workload = {}
+    for entry in trajectory.get("entries", []):
+        by_workload.setdefault(entry.get("workload"), []).append(entry)
+    if workloads is None:
+        workloads = sorted(by_workload)
+    ok = True
+    lines = []
+    for workload in workloads:
+        entries = by_workload.get(workload, [])
+        if len(entries) < 2:
+            lines.append(f"{workload}: no baseline to compare "
+                         f"({len(entries)} entry)")
+            continue
+        baseline, newest = entries[-2], entries[-1]
+        base_rate = baseline["sim_ns_per_wall_s"]
+        new_rate = newest["sim_ns_per_wall_s"]
+        change = (new_rate - base_rate) / base_rate if base_rate else 0.0
+        verdict = "ok"
+        if change < -threshold:
+            verdict = f"REGRESSION (> {threshold:.0%})"
+            ok = False
+        lines.append(
+            f"{workload}: {base_rate:,.0f} -> {new_rate:,.0f} "
+            f"sim-ns/wall-s ({change:+.1%}) "
+            f"[{baseline.get('git_rev', '?')[:12]} -> "
+            f"{newest.get('git_rev', '?')[:12]}] {verdict}")
+    return ok, lines

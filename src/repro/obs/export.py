@@ -24,37 +24,38 @@ def _task_name(task_names, pid):
 
 
 def _cpu_slices(events):
-    """Reconstruct (cpu, pid, start_ns, end_ns) runs from dispatch/idle."""
-    open_slices = {}                    # cpu -> (pid, start_ns)
+    """Reconstruct (cpu, pid, start_ns, end_ns, seq) runs from
+    dispatch/idle; ``seq`` is the emission index of the opening event."""
+    open_slices = {}                    # cpu -> (pid, start_ns, seq)
     slices = []
     last_t = 0
-    for event in events:
+    for seq, event in enumerate(events):
         if event.t_ns > last_t:
             last_t = event.t_ns
         if event.kind == "dispatch":
             previous = open_slices.pop(event.cpu, None)
             if previous is not None:
                 slices.append((event.cpu, previous[0], previous[1],
-                               event.t_ns))
-            open_slices[event.cpu] = (event.pid, event.t_ns)
+                               event.t_ns, previous[2]))
+            open_slices[event.cpu] = (event.pid, event.t_ns, seq)
         elif event.kind == "idle":
             previous = open_slices.pop(event.cpu, None)
             if previous is not None:
                 slices.append((event.cpu, previous[0], previous[1],
-                               event.t_ns))
-    for cpu, (pid, start) in open_slices.items():
+                               event.t_ns, previous[2]))
+    for cpu, (pid, start, seq) in open_slices.items():
         if last_t > start:
-            slices.append((cpu, pid, start, last_t))
+            slices.append((cpu, pid, start, last_t, seq))
     return slices
 
 
 def chrome_trace(events, task_names=None):
     """Build the Chrome trace-event document (a JSON-serialisable dict)."""
     events = list(events)
-    trace_events = []
+    ordered = []                        # (ts, seq, trace_event)
 
-    for cpu, pid, start_ns, end_ns in _cpu_slices(events):
-        trace_events.append({
+    for cpu, pid, start_ns, end_ns, seq in _cpu_slices(events):
+        ordered.append((start_ns / 1000.0, seq, {
             "name": _task_name(task_names, pid),
             "cat": "sched",
             "ph": "X",
@@ -63,9 +64,9 @@ def chrome_trace(events, task_names=None):
             "pid": 0,
             "tid": cpu,
             "args": {"pid": pid},
-        })
+        }))
 
-    for event in events:
+    for seq, event in enumerate(events):
         if event.kind in ("dispatch", "idle"):
             continue
         args = {k: v for k, v in event.args
@@ -74,7 +75,7 @@ def chrome_trace(events, task_names=None):
             args["pid"] = event.pid
         if event.cost_ns:
             args["cost_ns"] = event.cost_ns
-        trace_events.append({
+        ordered.append((event.t_ns / 1000.0, seq, {
             "name": event.kind,
             "cat": "obs",
             "ph": "i",
@@ -83,9 +84,14 @@ def chrome_trace(events, task_names=None):
             "pid": 0,
             "tid": event.cpu if event.cpu >= 0 else 0,
             "args": args,
-        })
+        }))
 
-    trace_events.sort(key=lambda e: e["ts"])
+    # Sort by (ts, emission seq): the sequence tiebreaker pins
+    # equal-timestamp events to emission order on every run — sorting by
+    # ``ts`` alone would leave their relative order to construction
+    # accidents (all slices were built before any instant).
+    ordered.sort(key=lambda item: (item[0], item[1]))
+    trace_events = [item[2] for item in ordered]
 
     metadata = [{
         "name": "process_name", "ph": "M", "pid": 0, "tid": 0,

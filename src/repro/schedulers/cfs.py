@@ -334,6 +334,13 @@ class CfsSchedClass(SchedClass):
         """New-idle balance: pull from the busiest CPU when going idle."""
         if self._rqs[cpu].entries or self.kernel.rqs[cpu].nr_running:
             return None
+        # Nothing queued anywhere means nothing to pull: skip the topology
+        # scan entirely (this runs on every pick while CFS is idle).
+        for rq in self._rqs:
+            if rq.entries:
+                break
+        else:
+            return None
         # New-idle balance must not rip cache-hot tasks off their CPU
         # (can_migrate_task's task_hot check); periodic balance may.
         return self._find_pull_candidate(cpu, allow_hot=False)

@@ -51,7 +51,13 @@ class DeadlineSchedClass(SchedClass):
         super().__init__()
         self.policy = policy
         self.params = {}            # pid -> _DlParams
-        self._queues = None         # per-cpu heap [(abs_deadline, pid)]
+        # Per-cpu heaps of (abs_deadline, pid, gen).  Removal is lazy: a
+        # pid's generation bump invalidates every queued entry for it, and
+        # stale entries are skipped when they surface — no heapify on the
+        # removal path.  ``pid`` sorts before ``gen`` so valid-entry
+        # ordering matches the old (abs_deadline, pid) heap exactly.
+        self._queues = None
+        self._gen = {}              # pid -> live entry generation
         self._current = {}          # cpu -> pid
         self._total_util = 0.0
         self._pending = None
@@ -146,7 +152,15 @@ class DeadlineSchedClass(SchedClass):
 
     def _enqueue(self, pid, cpu):
         params = self._params(pid)
-        heapq.heappush(self._queues[cpu], (params.abs_deadline, pid))
+        heapq.heappush(self._queues[cpu],
+                       (params.abs_deadline, pid, self._gen.get(pid, 0)))
+
+    def _stale(self, entry):
+        return entry[2] != self._gen.get(entry[1], 0)
+
+    def _prune_stale(self, queue):
+        while queue and self._stale(queue[0]):
+            heapq.heappop(queue)
 
     def task_new(self, task, cpu):
         params = self._params(task.pid)
@@ -205,12 +219,10 @@ class DeadlineSchedClass(SchedClass):
         self._enqueue(task.pid, new_cpu)
 
     def _remove(self, pid):
-        for queue in self._queues:
-            for index, (dl, entry_pid) in enumerate(queue):
-                if entry_pid == pid:
-                    queue.pop(index)
-                    heapq.heapify(queue)
-                    break
+        # Lazy: bumping the generation invalidates every queued entry for
+        # this pid (never deleted from ``_gen`` — a zeroed default would
+        # resurrect stale generation-0 entries).
+        self._gen[pid] = self._gen.get(pid, 0) + 1
 
     # -- decisions ------------------------------------------------------------------------
 
@@ -218,7 +230,11 @@ class DeadlineSchedClass(SchedClass):
         queue = self._queues[cpu]
         now = self.kernel.now
         while queue:
-            _deadline, pid = queue[0]
+            entry = queue[0]
+            if self._stale(entry):
+                heapq.heappop(queue)
+                continue
+            pid = entry[1]
             task = self.kernel.tasks.get(pid)
             if task is None or not self.kernel.rqs[cpu].has(pid):
                 heapq.heappop(queue)
@@ -278,5 +294,6 @@ class DeadlineSchedClass(SchedClass):
         if params is None:
             return
         queue = self._queues[cpu]
+        self._prune_stale(queue)
         if queue and queue[0][0] < params.abs_deadline:
             self.kernel.resched_cpu(cpu, when="now")

@@ -19,9 +19,13 @@ Mechanics:
   cost (``timer_arm_cost_ns``).
 """
 
+from bisect import insort
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.core.trait import EnokiScheduler
+
+_SEQ = itemgetter(0)
 
 
 @dataclass
@@ -78,8 +82,12 @@ class EnokiShinjuku(EnokiScheduler):
     # ------------------------------------------------------------------
 
     def _push(self, sched, pid):
+        # Queues stay sorted by sequence at all times.  Normal pushes use
+        # a fresh (monotonic) sequence so the insort lands at the back;
+        # only migration's adopted front-of-line sequences insert earlier.
         self.next_seq += 1
-        self.queues[sched.cpu].append((self.next_seq, pid, sched))
+        insort(self.queues[sched.cpu], (self.next_seq, pid, sched),
+               key=_SEQ)
 
     def _remove(self, pid):
         token = None
@@ -133,7 +141,7 @@ class EnokiShinjuku(EnokiScheduler):
                     (entry[0] for queue in self.queues.values()
                      for entry in queue), default=self.next_seq,
                 ) - 1
-            self.queues[new_cpu].append((seq, pid, sched))
+            insort(self.queues[new_cpu], (seq, pid, sched), key=_SEQ)
         return old
 
     # ------------------------------------------------------------------
@@ -145,7 +153,6 @@ class EnokiShinjuku(EnokiScheduler):
             queue = self.queues[cpu]
             if not queue:
                 return None
-            queue.sort(key=lambda entry: entry[0])
             _seq, _pid, token = queue.pop(0)
         # Re-arm the preemption timer on every dispatch ("it starts a
         # reschedule timer on every operation").
@@ -169,7 +176,7 @@ class EnokiShinjuku(EnokiScheduler):
             for other, queue in self.queues.items():
                 if other == cpu or not queue:
                     continue
-                head = min(queue, key=lambda entry: entry[0])
+                head = queue[0]
                 if oldest is None or head[0] < oldest[0]:
                     oldest = head
             if oldest is None:
@@ -193,3 +200,6 @@ class EnokiShinjuku(EnokiScheduler):
         self.generation = state.generation + 1
         for cpu in range(self.nr_cpus):
             self.queues.setdefault(cpu, [])
+        # Re-establish the sorted invariant on adopted queues.
+        for queue in self.queues.values():
+            queue.sort(key=_SEQ)

@@ -14,6 +14,7 @@ The paper's version is 646 lines of Rust; this is deliberately the same
 kind of object — far simpler than CFS, close to it in behaviour.
 """
 
+from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.core.trait import EnokiScheduler
@@ -49,7 +50,12 @@ class EnokiWfq(EnokiScheduler):
         self.policy = policy
         self.sched_latency_ns = sched_latency_ns
         self.min_granularity_ns = min_granularity_ns
-        # cpu -> list[(pid, token)] kept sorted by vruntime at pick time
+        # cpu -> list[(pid, token)] kept sorted by vruntime incrementally:
+        # every insert goes through ``_insert`` (bisect.insort), which is
+        # exact because a queued pid's vruntime never changes — all
+        # mutation sites (observe on preempt/block/yield, the wakeup
+        # floor, migration re-homing) run while the pid is off-queue, and
+        # pick-time ``_observe_runtime`` on a queued pid sees delta 0.
         self.queues = {cpu: [] for cpu in range(nr_cpus)}
         self.vruntime = {}         # pid -> weighted runtime
         self.last_runtime = {}     # pid -> last raw runtime seen
@@ -72,17 +78,25 @@ class EnokiWfq(EnokiScheduler):
     def _observe_runtime(self, pid, runtime):
         """Fold a kernel-reported raw runtime into the pid's vruntime."""
         last = self.last_runtime.get(pid, runtime)
-        delta = max(0, runtime - last)
+        delta = runtime - last
         self.last_runtime[pid] = runtime
+        if delta <= 0:
+            # Queued pids observe a zero delta at every pick (vruntime is
+            # immutable while queued); adding 0 is a no-op, and every read
+            # defaults missing pids to 0, so skip the write entirely.
+            return
         weight = self.weights.get(pid, NICE_0_WEIGHT)
         self.vruntime[pid] = (
             self.vruntime.get(pid, 0) + delta * NICE_0_WEIGHT // weight
         )
 
-    def _queue_sorted(self, cpu):
-        queue = self.queues[cpu]
-        queue.sort(key=lambda entry: self.vruntime.get(entry[0], 0))
-        return queue
+    def _vrun_key(self, entry):
+        return self.vruntime.get(entry[0], 0)
+
+    def _insert(self, cpu, pid, token):
+        """Sorted insert; ties land after existing peers, matching the
+        stable-sort-of-appends order the per-pick sort used to produce."""
+        insort(self.queues[cpu], (pid, token), key=self._vrun_key)
 
     # ------------------------------------------------------------------
     # placement
@@ -123,7 +137,7 @@ class EnokiWfq(EnokiScheduler):
                 * NICE_0_WEIGHT // self.weights[pid]
                 // max(1, len(self.queues[cpu]) + 1)
             )
-            self.queues[cpu].append((pid, sched))
+            self._insert(cpu, pid, sched)
 
     def task_wakeup(self, pid, agent_data, deferrable, last_run_cpu,
                     wake_up_cpu, waker_cpu, sched):
@@ -132,7 +146,7 @@ class EnokiWfq(EnokiScheduler):
             floor = (self.min_vruntime[cpu]
                      - self.sched_latency_ns // self.WAKEUP_BONUS_DIVISOR)
             self.vruntime[pid] = max(self.vruntime.get(pid, 0), floor)
-            self.queues[cpu].append((pid, sched))
+            self._insert(cpu, pid, sched)
 
     def task_blocked(self, pid, runtime, cpu_seqnum, cpu, from_switchto):
         with self.lock:
@@ -145,19 +159,20 @@ class EnokiWfq(EnokiScheduler):
         with self.lock:
             self._observe_runtime(pid, runtime)
             self.current.pop(cpu, None)
-            self.queues[sched.cpu].append((pid, sched))
+            self._insert(sched.cpu, pid, sched)
 
     def task_yield(self, pid, runtime, cpu_seqnum, cpu, from_switchto,
                    sched):
         with self.lock:
             self._observe_runtime(pid, runtime)
             self.current.pop(cpu, None)
-            # Yielding pushes the task behind its peers.
+            # Yielding pushes the task behind its peers (sorted order
+            # makes the back of the queue the max vruntime).
             queue = self.queues[sched.cpu]
             if queue:
-                back = max(self.vruntime.get(p, 0) for p, _t in queue)
+                back = self.vruntime.get(queue[-1][0], 0)
                 self.vruntime[pid] = max(self.vruntime.get(pid, 0), back)
-            self.queues[sched.cpu].append((pid, sched))
+            self._insert(sched.cpu, pid, sched)
 
     def task_dead(self, pid):
         with self.lock:
@@ -196,7 +211,7 @@ class EnokiWfq(EnokiScheduler):
             # Re-home vruntime to the destination queue's baseline.
             old_v = self.vruntime.get(pid, 0)
             self.vruntime[pid] = max(old_v, self.min_vruntime[new_cpu])
-            self.queues[new_cpu].append((pid, sched))
+            self._insert(new_cpu, pid, sched)
         return old_token
 
     # ------------------------------------------------------------------
@@ -207,7 +222,7 @@ class EnokiWfq(EnokiScheduler):
         with self.lock:
             for pid, runtime in runtimes.items():
                 self._observe_runtime(pid, runtime)
-            queue = self._queue_sorted(cpu)
+            queue = self.queues[cpu]
             if not queue:
                 return None
             pid, token = queue.pop(0)
@@ -237,8 +252,7 @@ class EnokiWfq(EnokiScheduler):
                 return None
             # Steal the task that has waited longest (queue head by
             # vruntime order).
-            queue = self._queue_sorted(longest_cpu)
-            return queue[0][0]
+            return self.queues[longest_cpu][0][0]
 
     def balance_err(self, cpu, pid, err, sched):
         # Nothing to restore: the task never left its queue.
@@ -259,9 +273,8 @@ class EnokiWfq(EnokiScheduler):
             preempt = ran >= slice_ns
             if not preempt and self.queues[cpu]:
                 # Wakeup preemption at the tick: a waiting task with a
-                # clearly lower vruntime takes the CPU.
-                head = min(self.vruntime.get(p, 0)
-                           for p, _t in self.queues[cpu])
+                # clearly lower vruntime takes the CPU (queue head).
+                head = self.vruntime.get(self.queues[cpu][0][0], 0)
                 preempt = head + self.min_granularity_ns < \
                     self.vruntime.get(pid, 0)
         if preempt:
@@ -295,3 +308,7 @@ class EnokiWfq(EnokiScheduler):
         for cpu in range(self.nr_cpus):
             self.queues.setdefault(cpu, [])
             self.min_vruntime.setdefault(cpu, 0)
+        # Re-establish the sorted invariant on adopted queues (stable, so
+        # a same-version transfer is a no-op re-sort).
+        for queue in self.queues.values():
+            queue.sort(key=self._vrun_key)

@@ -27,17 +27,17 @@ def secs(n):
 
 
 class Clock:
-    """A monotonic virtual clock with nanosecond resolution."""
+    """A monotonic virtual clock with nanosecond resolution.
 
-    __slots__ = ("_now",)
+    ``now`` is a plain attribute — it is read on every hot path, so the
+    property indirection would cost real time.  Only :meth:`advance_to`
+    (the event loop) may write it.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start_ns=0):
-        self._now = int(start_ns)
-
-    @property
-    def now(self):
-        """Current virtual time in nanoseconds."""
-        return self._now
+        self.now = int(start_ns)
 
     def advance_to(self, t):
         """Move the clock forward to ``t`` nanoseconds.
@@ -46,11 +46,11 @@ class Clock:
         loop is the only writer and a backwards move means a corrupted event
         order.
         """
-        if t < self._now:
+        if t < self.now:
             raise SimError(
-                f"clock would move backwards: {self._now} -> {t}"
+                f"clock would move backwards: {self.now} -> {t}"
             )
-        self._now = t
+        self.now = t
 
     def __repr__(self):
-        return f"Clock(now={self._now}ns)"
+        return f"Clock(now={self.now}ns)"

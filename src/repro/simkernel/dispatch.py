@@ -21,6 +21,9 @@ class DispatchEngine:
 
     def __init__(self, kernel):
         self.k = kernel
+        # Direct clock reference: the schedule path reads the time
+        # constantly and the kernel's ``now`` property costs a call.
+        self.clock = kernel.clock
         self._tick_timers = [None] * kernel.topology.nr_cpus
 
     # ------------------------------------------------------------------
@@ -173,9 +176,10 @@ class DispatchEngine:
 
     def dispatch(self, cpu, task, prev, pick_cost):
         k = self.k
+        now = self.clock.now
         rq = k.rqs[cpu]
         if prev is None and rq.idle_since_ns >= 0:
-            k.stats.cpus[cpu].idle_ns += k.now - rq.idle_since_ns
+            k.stats.cpus[cpu].idle_ns += now - rq.idle_since_ns
             rq.idle_since_ns = -1
         cost = pick_cost
         if task is not prev:
@@ -187,7 +191,7 @@ class DispatchEngine:
         task.cpu = cpu
         rq.current = task
         task.set_state(TaskState.RUNNING)
-        start = k.now + cost
+        start = now + cost
         task.exec_start_ns = start
         task.run_started_ns = start
         if task.last_wakeup_ns >= 0:
@@ -197,7 +201,15 @@ class DispatchEngine:
             )
             task.last_wakeup_ns = -1
         epoch = task.run_epoch
-        k.events.at(start, self.task_resume, task, epoch)
+        if task.run_remaining_ns > 0:
+            # A banked Run segment resumes unconditionally, so skip the
+            # task_resume trampoline and schedule its completion directly;
+            # run_complete carries the same epoch/state/current guards.
+            # (task.run_started_ns is already ``start``, set above.)
+            k.events.at(start + task.run_remaining_ns,
+                        k.interp.run_complete, task, epoch)
+        else:
+            k.events.at(start, self.task_resume, task, epoch)
         self.start_tick(cpu)
         if k.trace:
             k.trace("dispatch", cpu=cpu, pid=task.pid, t=k.now,
@@ -211,7 +223,7 @@ class DispatchEngine:
         if k.rqs[cpu].current is not task:
             return
         if task.run_remaining_ns > 0:
-            task.run_started_ns = k.now
+            task.run_started_ns = self.clock.now
             k.events.after(
                 task.run_remaining_ns, k.interp.run_complete, task, epoch
             )
@@ -256,15 +268,22 @@ class DispatchEngine:
 
     def update_curr(self, cpu):
         k = self.k
-        rq = k.rqs[cpu]
-        cur = rq.current
+        cur = k.rqs[cpu].current
         if cur is None:
             return
-        delta = k.now - cur.exec_start_ns
+        now = self.clock.now
+        delta = now - cur.exec_start_ns
         if delta <= 0:
             return
-        cur.exec_start_ns = k.now
+        cur.exec_start_ns = now
         cur.sum_exec_runtime_ns += delta
-        cur.last_ran_ns = k.now
-        k.stats.cpus[cpu].charge(cur, delta)
+        cur.last_ran_ns = now
+        # CpuStats.charge, inlined (this is its only caller and the
+        # accounting path runs at every op boundary).
+        stats = k.stats.cpus[cpu]
+        stats.busy_ns += delta
+        pid_map = stats.busy_ns_by_pid
+        pid_map[cur.pid] = pid_map.get(cur.pid, 0) + delta
+        tgid_map = stats.busy_ns_by_tgid
+        tgid_map[cur.tgid] = tgid_map.get(cur.tgid, 0) + delta
         k.class_of(cur).update_curr(cur, delta)

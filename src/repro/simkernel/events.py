@@ -1,11 +1,16 @@
 """The event queue driving the simulation.
 
-A single binary heap orders pending events by ``(time, sequence)``.  Events
-are plain callbacks; cancellation is lazy (a cancelled handle is skipped when
-it surfaces), which keeps the hot path to a heappush/heappop pair.
+A single binary heap orders pending events by ``(time, sequence)``.  Heap
+entries are ``(time, seq, handle)`` tuples so ordering is resolved by C-level
+tuple comparison (``seq`` is unique, so the handle itself is never compared).
+Events are plain callbacks; cancellation is lazy (a cancelled handle is
+skipped when it surfaces), which keeps the hot path to a heappush/heappop
+pair.  When cancelled entries pile up past a compaction threshold the heap is
+rebuilt in one pass so pathological cancel-heavy workloads stay linear.
 """
 
 import heapq
+from heapq import heappop, heappush
 
 from repro.simkernel.clock import Clock
 from repro.simkernel.errors import SimError
@@ -39,11 +44,16 @@ class EventHandle:
 class EventQueue:
     """Time-ordered event dispatch over a shared :class:`Clock`."""
 
+    #: Compact the heap once more than this many cancelled entries linger
+    #: *and* they outnumber the live ones (see :meth:`cancel`).
+    COMPACT_THRESHOLD = 256
+
     def __init__(self, clock=None):
         self.clock = clock if clock is not None else Clock()
         self._heap = []
         self._seq = 0
         self._live = 0
+        self._stale = 0
 
     def __len__(self):
         return self._live
@@ -56,7 +66,7 @@ class EventQueue:
             )
         self._seq += 1
         handle = EventHandle(int(time), self._seq, fn, args)
-        heapq.heappush(self._heap, handle)
+        heappush(self._heap, (handle.time, self._seq, handle))
         self._live += 1
         return handle
 
@@ -64,31 +74,58 @@ class EventQueue:
         """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise SimError(f"negative event delay: {delay}")
-        return self.at(self.clock.now + int(delay), fn, *args)
+        # Inlined `at` (this is the hottest scheduling entry point).
+        time = self.clock.now + int(delay)
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        heappush(self._heap, (time, self._seq, handle))
+        self._live += 1
+        return handle
 
     def cancel(self, handle):
         """Cancel a previously scheduled event."""
         if not handle.cancelled:
             handle.cancelled = True
             self._live -= 1
+            self._stale += 1
+            if self._stale > self.COMPACT_THRESHOLD \
+                    and self._stale * 2 > len(self._heap):
+                self._compact()
 
-    def _pop_runnable(self):
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._live -= 1
-            return handle
-        return None
+    def _compact(self):
+        """Drop cancelled entries and rebuild the heap in one pass."""
+        self._heap = [e for e in self._heap if not e[2].cancelled]
+        heapq.heapify(self._heap)
+        self._stale = 0
 
     def step(self):
         """Run the next pending event.  Returns False when the queue is dry."""
-        handle = self._pop_runnable()
-        if handle is None:
-            return False
-        self.clock.advance_to(handle.time)
-        handle.fn(*handle.args)
-        return True
+        heap = self._heap
+        while heap:
+            handle = heappop(heap)[2]
+            if handle.cancelled:
+                self._stale -= 1
+                continue
+            self._live -= 1
+            # Clock.advance_to, inlined (one call per event): the monotonic
+            # guard stays — a backwards move means a corrupted heap order.
+            clock = self.clock
+            t = handle.time
+            if t < clock.now:
+                raise SimError(
+                    f"clock would move backwards: {clock.now} -> {t}"
+                )
+            clock.now = t
+            fn = handle.fn
+            args = handle.args
+            # Drop the callback references once the event has fired: timer
+            # callbacks carry their Timer in ``args`` while the Timer holds
+            # this handle, a reference cycle that would otherwise make
+            # every armed timer garbage-collector work.
+            handle.fn = handle.args = None
+            fn(*args)
+            return True
+        return False
 
     def run_until(self, deadline):
         """Run events up to and including virtual time ``deadline``.
@@ -98,10 +135,11 @@ class EventQueue:
         """
         while self._heap:
             head = self._heap[0]
-            if head.cancelled:
+            if head[2].cancelled:
                 heapq.heappop(self._heap)
+                self._stale -= 1
                 continue
-            if head.time > deadline:
+            if head[0] > deadline:
                 break
             self.step()
         if self.clock.now < deadline:

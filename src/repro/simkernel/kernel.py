@@ -61,6 +61,7 @@ class Kernel:
         self._classes = []            # (priority, SchedClass), high prio first
         self._class_by_policy = {}
         self._policy_redirects = {}   # failed policy -> fallback policy
+        self._class_cache = {}        # policy -> resolved class (memoised)
         self._limbo = set()           # pids awaiting deferred placement
         self._hint_handlers = {}      # policy -> handler object
         # Deterministic micro-jitter source (IRQ/C-state variance model).
@@ -88,6 +89,7 @@ class Kernel:
         self._classes.append((priority, sched_class))
         self._classes.sort(key=lambda pc: -pc[0])
         self._class_by_policy[sched_class.policy] = sched_class
+        self._class_cache.clear()
         return sched_class
 
     def unregister_sched_class(self, policy):
@@ -103,6 +105,7 @@ class Kernel:
                 )
         del self._class_by_policy[policy]
         self._classes = [(p, c) for (p, c) in self._classes if c is not cls]
+        self._class_cache.clear()
         cls.detach_kernel()
         return cls
 
@@ -124,14 +127,22 @@ class Kernel:
         for src, dst in list(self._policy_redirects.items()):
             if dst == policy:
                 self._policy_redirects[src] = resolved
+        self._class_cache.clear()
 
     def class_of(self, task):
+        # Memoised per policy: two dict lookups collapse to one on the
+        # accounting hot path.  The cache is cleared on class registration
+        # changes and policy redirects (failover).
+        cls = self._class_cache.get(task.policy)
+        if cls is not None:
+            return cls
         policy = self._policy_redirects.get(task.policy, task.policy)
         cls = self._class_by_policy.get(policy)
         if cls is None:
             raise SchedulingError(
                 f"pid {task.pid} uses unregistered policy {task.policy}"
             )
+        self._class_cache[task.policy] = cls
         return cls
 
     def class_priority(self, cls):
@@ -139,6 +150,20 @@ class Kernel:
             if c is cls:
                 return prio
         raise SchedulingError(f"{cls.name} not registered")
+
+    def set_trace(self, hook):
+        """Install (or remove, with ``None``) the trace hook.
+
+        ``trace`` stays a plain attribute — every hot emission site reads it
+        directly with one ``is None`` test — but going through this setter
+        lets scheduler classes that cache a fast-path flag (the Enoki-C
+        shim's ``_hot``) refresh their cache at attach/detach time.
+        """
+        self.trace = hook
+        for _prio, cls in self._classes:
+            on_changed = getattr(cls, "on_trace_changed", None)
+            if on_changed is not None:
+                on_changed()
 
     def register_hint_handler(self, policy, handler):
         """Route userspace hint ops for ``policy`` to ``handler``.

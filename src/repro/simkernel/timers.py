@@ -11,14 +11,17 @@ from repro.simkernel.errors import SimError
 class Timer:
     """Handle for an armed timer."""
 
-    __slots__ = ("service", "handle", "tag", "fired", "cancelled")
+    __slots__ = ("service", "handle", "tag", "fired", "cancelled",
+                 "callback", "period_ns")
 
-    def __init__(self, service, tag):
+    def __init__(self, service, tag, callback=None, period_ns=0):
         self.service = service
         self.handle = None
         self.tag = tag
         self.fired = False
         self.cancelled = False
+        self.callback = callback
+        self.period_ns = period_ns
 
     @property
     def active(self):
@@ -28,6 +31,9 @@ class Timer:
         if self.active and self.handle is not None:
             self.service.events.cancel(self.handle)
         self.cancelled = True
+        # Break the timer <-> event-handle reference cycle; the cancelled
+        # heap entry still holds the handle until it surfaces.
+        self.handle = None
 
 
 class TimerService:
@@ -66,34 +72,34 @@ class TimerService:
         if delay_ns < 0:
             raise SimError(f"negative timer delay: {delay_ns}")
         delay_ns = max(delay_ns, self.config.timer_min_delay_ns)
-        timer = Timer(self, tag)
-
-        def fire():
-            timer.fired = True
-            self.armed -= 1
-            self._note_fire(timer)
-            callback(timer)
-
+        timer = Timer(self, tag, callback)
         timer.handle = self.events.after(
-            delay_ns + self.config.timer_program_ns, fire
+            delay_ns + self.config.timer_program_ns, self._fire, timer
         )
         self.armed += 1
         return timer
+
+    def _fire(self, timer):
+        timer.fired = True
+        self.armed -= 1
+        self._note_fire(timer)
+        timer.callback(timer)
 
     def arm_periodic(self, period_ns, callback, tag=None):
         """Arm a self-rearming timer.  Returns a handle whose ``cancel``
         stops the chain."""
         if period_ns <= 0:
             raise SimError(f"non-positive timer period: {period_ns}")
-        chain = Timer(self, tag)
-
-        def fire():
-            if chain.cancelled:
-                return
-            self._note_fire(chain)
-            callback(chain)
-            if not chain.cancelled:
-                chain.handle = self.events.after(period_ns, fire)
-
-        chain.handle = self.events.after(period_ns, fire)
+        chain = Timer(self, tag, callback, period_ns)
+        chain.handle = self.events.after(period_ns, self._fire_periodic, chain)
         return chain
+
+    def _fire_periodic(self, chain):
+        if chain.cancelled:
+            return
+        self._note_fire(chain)
+        chain.callback(chain)
+        if not chain.cancelled:
+            chain.handle = self.events.after(
+                chain.period_ns, self._fire_periodic, chain
+            )

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One scheduling event.
 
@@ -114,12 +114,12 @@ class SchedTracer:
         """Install on a kernel (replaces any existing trace hook)."""
         tracer = cls(capacity, kinds=kinds)
         tracer._kernel = kernel
-        kernel.trace = tracer._hook
+        kernel.set_trace(tracer._hook)
         return tracer
 
     def detach(self):
         if self._kernel is not None and self._kernel.trace == self._hook:
-            self._kernel.trace = None
+            self._kernel.set_trace(None)
         self._kernel = None
 
     def _hook(self, kind, **fields):

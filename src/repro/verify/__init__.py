@@ -13,8 +13,9 @@ The testing subsystem the rest of the reproduction is audited with:
 """
 
 from repro.verify.fuzz import (EpisodeResult, EpisodeSpec, FuzzReport,
-                               TaskSpec, fuzz_run, generate_episode,
-                               run_episode)
+                               TaskSpec, episode_digest, fuzz_run,
+                               generate_episode, run_episode,
+                               state_digest)
 from repro.verify.sanitizers import (SanitizerError, SanitizerSuite,
                                      Violation, assert_kernel_state,
                                      check_kernel_state)
@@ -32,10 +33,12 @@ __all__ = [
     "Violation",
     "assert_kernel_state",
     "check_kernel_state",
+    "episode_digest",
     "fuzz_run",
     "generate_episode",
     "load_artifact",
     "run_episode",
     "shrink_episode",
+    "state_digest",
     "write_artifact",
 ]

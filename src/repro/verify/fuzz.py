@@ -22,6 +22,8 @@ oracles:
 the same (master seed, episode index) always builds the same episode.
 """
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, field, replace
 
@@ -130,6 +132,7 @@ class EpisodeResult:
     replay_checked: bool = False
     control_checked: bool = False
     faults_fired: int = 0
+    sim_ns: int = 0           # virtual time the episode covered
 
     @property
     def ok(self):
@@ -146,6 +149,7 @@ class EpisodeResult:
             "replay_checked": self.replay_checked,
             "control_checked": self.control_checked,
             "faults_fired": self.faults_fired,
+            "sim_ns": self.sim_ns,
         }
 
 
@@ -213,6 +217,77 @@ def _make_program(task_spec, policy):
 
 
 # ----------------------------------------------------------------------
+# episode digests (the differential-replay oracle's external face)
+# ----------------------------------------------------------------------
+
+def state_digest(kernel):
+    """A stable hash of everything the simulation computed.
+
+    Two runs of the same episode are *behaviourally identical* iff their
+    digests match: final virtual time, every task's lifecycle counters
+    and runtimes, and the per-CPU switch/busy/idle accounting all go into
+    the hash.  This is what the fast-path guarantees are stated against —
+    attaching observers must not change the digest.
+    """
+    tasks = []
+    for pid in sorted(kernel.tasks):
+        task = kernel.tasks[pid]
+        tasks.append([pid, task.name, task.state.name,
+                      task.sum_exec_runtime_ns, task.stats.preemptions,
+                      task.stats.yields, task.stats.blocked_count,
+                      task.stats.migrations, task.stats.finished_ns])
+    stats = kernel.stats
+    payload = {
+        "now": kernel.now,
+        "tasks": tasks,
+        "wakeups": stats.total_wakeups,
+        "migrations": stats.total_migrations,
+        "failed_migrations": stats.failed_migrations,
+        "sched_invocations": stats.sched_invocations,
+        "switches": [c.switches for c in stats.cpus],
+        "busy": [c.busy_ns for c in stats.cpus],
+        "idle": [c.idle_ns for c in stats.cpus],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def episode_digest(seed, observe=False, sched=None):
+    """Run the episode ``seed`` describes and return its state digest.
+
+    With ``observe`` a full :class:`~repro.obs.Observer` is attached
+    (trace + metrics + profilers); without it the machine runs the
+    no-observer fast path.  The two must digest identically — that
+    equivalence is tested for fixed seeds and is the contract every
+    hot-path optimisation is held to.
+    """
+    from repro.obs import Observer
+
+    spec = generate_episode(seed, sched=sched)
+    session = (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
+                             seed=spec.seed)
+               .with_native("cfs", policy=0, priority=5)
+               .with_enoki(spec.sched, policy=TASK_POLICY, priority=10)
+               .build())
+    kernel = session.kernel
+    if observe:
+        Observer.attach(kernel)
+    if spec.plan is not None:
+        session.install_faults(FaultPlan.from_dict(spec.plan))
+    if spec.upgrade_at_ns:
+        session.schedule_upgrade(spec.upgrade_at_ns)
+    for i, task_spec in enumerate(spec.tasks):
+        session.spawn(_make_program(task_spec, TASK_POLICY),
+                      name=f"fuzz-{i}", origin_cpu=i % spec.nr_cpus)
+    try:
+        kernel.run_until_idle(max_events=_EVENT_BUDGET)
+    except SimError:
+        pass                    # the digest covers however far it got
+    session.stop()
+    return state_digest(kernel)
+
+
+# ----------------------------------------------------------------------
 # episode execution
 # ----------------------------------------------------------------------
 
@@ -277,6 +352,7 @@ def run_episode(spec, capture=False):
         total_tasks=len(kernel.tasks),
         faults_fired=(sum(injector.summary().values())
                       if injector is not None else 0),
+        sim_ns=kernel.now,
     )
     if capture:
         result.suite = suite

@@ -122,3 +122,83 @@ class TestEventQueue:
         assert len(q) == 2
         q.cancel(h1)
         assert len(q) == 1
+
+
+class TestLazyDeletion:
+    """Edge cases of the lazy-cancellation scheme (cancelled entries stay
+    in the heap until they surface or a compaction sweeps them)."""
+
+    def test_cancel_then_reschedule_same_timestamp(self):
+        q = EventQueue()
+        seen = []
+        first = q.at(10, seen.append, "cancelled")
+        q.cancel(first)
+        q.at(10, seen.append, "replacement")
+        q.run_until_idle()
+        assert seen == ["replacement"]
+        assert q.clock.now == 10
+        assert len(q) == 0
+
+    def test_pop_past_run_of_cancelled_handles(self):
+        q = EventQueue()
+        seen = []
+        doomed = [q.at(10, seen.append, i) for i in range(50)]
+        q.at(10, seen.append, "survivor")
+        for handle in doomed:
+            q.cancel(handle)
+        # One step must skip all 50 stale entries and run the survivor.
+        assert q.step() is True
+        assert seen == ["survivor"]
+        assert q._stale == 0
+        assert q.step() is False
+
+    def test_run_until_skips_cancelled_head_beyond_deadline(self):
+        q = EventQueue()
+        seen = []
+        late = q.at(100, seen.append, "late")
+        q.cancel(late)
+        q.at(10, seen.append, "early")
+        q.run_until(50)
+        assert seen == ["early"]
+        assert q.clock.now == 50
+
+    def test_compaction_threshold(self):
+        q = EventQueue()
+        keep = 10
+        for i in range(keep):
+            q.at(1_000_000 + i, lambda: None)
+        handles = [q.at(500 + i, lambda: None)
+                   for i in range(q.COMPACT_THRESHOLD + 1)]
+        # Cancelling up to the threshold leaves the heap untouched …
+        for handle in handles[:-1]:
+            q.cancel(handle)
+        assert q._stale == q.COMPACT_THRESHOLD
+        assert len(q._heap) == keep + len(handles)
+        # … and one more (with stale entries the majority) compacts.
+        q.cancel(handles[-1])
+        assert q._stale == 0
+        assert len(q._heap) == keep
+        assert len(q) == keep
+
+    def test_no_compaction_while_live_majority(self):
+        q = EventQueue()
+        live = 2 * (q.COMPACT_THRESHOLD + 2)
+        for i in range(live):
+            q.at(1_000_000 + i, lambda: None)
+        handles = [q.at(500 + i, lambda: None)
+                   for i in range(q.COMPACT_THRESHOLD + 2)]
+        for handle in handles:
+            q.cancel(handle)
+        # Stale count exceeds the threshold but not half the heap: the
+        # sweep is deferred until cancellations dominate.
+        assert q._stale == len(handles)
+        assert len(q._heap) == live + len(handles)
+
+    def test_cancel_after_fire_is_harmless(self):
+        q = EventQueue()
+        seen = []
+        handle = q.at(10, seen.append, "x")
+        q.run_until_idle()
+        handle.cancel()          # late cancel on an already-fired handle
+        assert seen == ["x"]
+        assert q.step() is False

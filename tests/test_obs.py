@@ -157,6 +157,24 @@ class TestChromeExport:
         assert any("enoki_msg" in line for line in lines)
         assert all("[" in line and "]" in line for line in lines)
 
+    def test_equal_timestamp_events_export_in_emission_order(self):
+        from repro.simkernel.tracing import TraceEvent
+
+        events = [
+            TraceEvent(t_ns=1000, kind="wakeup", cpu=0, pid=1),
+            TraceEvent(t_ns=1000, kind="dispatch", cpu=0, pid=1),
+            TraceEvent(t_ns=1000, kind="enoki_msg", cpu=0, pid=1),
+            TraceEvent(t_ns=2000, kind="idle", cpu=0),
+        ]
+        document = chrome_trace(events)
+        emitted = [e for e in document["traceEvents"] if e["ph"] != "M"]
+        # all three t=1000 entries share ts=1.0; the sequence tiebreaker
+        # keeps emission order (wakeup, then the slice the dispatch
+        # opened, then the message) instead of slices-first construction
+        # order
+        assert [e["name"] for e in emitted] == \
+            ["wakeup", "pid-1", "enoki_msg"]
+
 
 class TestCallbackProfiler:
     def test_totals_consistent_across_layers(self):
