@@ -182,9 +182,105 @@ def cmd_trace(args):
 def cmd_stats(args):
     _kernel, observer, result = _observed_pipe_run(
         args.rounds, args.hogs, args.capacity)
+    if args.json:
+        observer.collect()
+        print(json.dumps({
+            "latency_us_per_message": result.latency_us_per_message,
+            "events": dict(sorted(observer.summary().items())),
+            "dropped_events": observer.dropped,
+            "metrics": observer.registry.snapshot(),
+        }, indent=2, sort_keys=True))
+        return 0
     print(f"sched-pipe + {args.hogs} hogs: "
           f"{result.latency_us_per_message:.2f} us/msg")
     print(observer.report())
+    return 0
+
+
+#: default SLO targets for the telemetry CLI surfaces — generous bounds
+#: that hold on a healthy kernel, so violations mean something changed
+DEFAULT_SLOS = (
+    {"name": "p99-wakeup", "metric": "wakeup_p99_ns", "max": 1_000_000},
+    {"name": "rq-depth", "metric": "rq_depth_max", "max": 64},
+)
+
+
+def _telemetry_pipe_run(rounds, hogs, interval_us, on_window=None,
+                        top_k=5, slos=DEFAULT_SLOS):
+    """The pipe + background-hogs episode with continuous telemetry
+    attached (inline accounting, windowed sampler, SLO monitors)."""
+    from repro.simkernel.clock import usecs
+    from repro.simkernel.program import Run, Sleep
+    from repro.workloads.pipe_bench import run_pipe_benchmark
+
+    session = _wfq_session()
+    session.attach_telemetry(usecs(interval_us), slos=slos,
+                             on_window=on_window, top_k=top_k)
+
+    def hog():
+        for _ in range(200):
+            yield Run(usecs(40))
+            yield Sleep(usecs(15))
+
+    for i in range(hogs):
+        session.spawn(hog, name=f"hog-{i}",
+                      allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
+    result = run_pipe_benchmark(session.kernel, session.policy,
+                                rounds=rounds)
+    session.stop()
+    return session, result
+
+
+def cmd_top(args):
+    from repro.obs.telemetry import render_top_frame
+
+    clear = (not args.no_clear) and sys.stdout.isatty()
+    frames = [0]
+
+    def show(window):
+        frames[0] += 1
+        if clear:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_top_frame(window))
+        if not clear:
+            print()
+
+    session, result = _telemetry_pipe_run(
+        args.rounds, args.hogs, args.interval_us,
+        on_window=show, top_k=args.tasks)
+    sampler = session.telemetry
+    slo = sampler.monitor.summary() if sampler.monitor else None
+    violations = (sum(t["violations"] for t in slo["targets"])
+                  if slo else 0)
+    print(f"episode done: {frames[0]} windows "
+          f"@ {args.interval_us} us, "
+          f"{result.latency_us_per_message:.2f} us/msg, "
+          f"{violations} SLO violation(s)")
+    return 0
+
+
+def cmd_report(args):
+    from repro.obs.telemetry import (build_report, render_report_markdown,
+                                     timeseries_csv)
+
+    session, result = _telemetry_pipe_run(
+        args.rounds, args.hogs, args.interval_us)
+    report = build_report(session.kernel, session.telemetry, meta={
+        "workload": "pipe+hogs",
+        "rounds": args.rounds,
+        "hogs": args.hogs,
+        "interval_us": args.interval_us,
+        "latency_us_per_message": result.latency_us_per_message,
+    })
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(timeseries_csv(list(session.telemetry.windows)))
+        if not args.json:
+            print(f"wrote time-series CSV to {args.csv}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(render_report_markdown(report))
     return 0
 
 
@@ -370,7 +466,18 @@ def _metric_headline(metrics):
 
 def cmd_bench(args):
     from repro.exp.bench import (compare_simperf, default_specs,
-                                 run_simperf, run_sweep, smoke_specs)
+                                 run_overhead_check, run_simperf,
+                                 run_sweep, smoke_specs)
+
+    if args.overhead:
+        ok, lines = run_overhead_check(threshold=args.threshold,
+                                       rounds=args.rounds)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("telemetry overhead above threshold")
+            return 1
+        return 0
 
     if args.compare:
         ok, lines = compare_simperf(args.simperf_out,
@@ -431,6 +538,10 @@ EXPERIMENTS = {
                          "(chrome/ftrace)"),
     "stats": (cmd_stats, "metrics registry + per-callback latency "
                          "percentiles"),
+    "top": (cmd_top, "live schedstat view: per-CPU bars, SLO status, "
+                     "busiest tasks per telemetry window"),
+    "report": (cmd_report, "delay-accounting + time-series episode "
+                           "report (markdown, --json, --csv)"),
     "chaos": (cmd_chaos, "deterministic fault injection: run built-in "
                          "fault plans under containment"),
     "fuzz": (cmd_fuzz, "seeded simulation fuzzing under the invariant "
@@ -475,6 +586,28 @@ def main(argv=None):
     p.add_argument("--rounds", type=int, default=500)
     p.add_argument("--hogs", type=int, default=12)
     p.add_argument("--capacity", type=int, default=500_000)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable registry snapshot on stdout")
+
+    p = sub.add_parser("top", help=EXPERIMENTS["top"][1])
+    p.add_argument("--rounds", type=int, default=500)
+    p.add_argument("--hogs", type=int, default=12)
+    p.add_argument("--interval-us", type=int, default=1000,
+                   help="telemetry window length (simulated microseconds)")
+    p.add_argument("--tasks", type=int, default=5,
+                   help="busiest tasks shown per frame")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of redrawing in place")
+
+    p = sub.add_parser("report", help=EXPERIMENTS["report"][1])
+    p.add_argument("--rounds", type=int, default=500)
+    p.add_argument("--hogs", type=int, default=12)
+    p.add_argument("--interval-us", type=int, default=1000,
+                   help="telemetry window length (simulated microseconds)")
+    p.add_argument("--json", action="store_true",
+                   help="full report as JSON instead of markdown")
+    p.add_argument("--csv", metavar="PATH",
+                   help="also export the per-window time series as CSV")
 
     p = sub.add_parser("chaos", help=EXPERIMENTS["chaos"][1])
     p.add_argument("--plan", default="all",
@@ -533,6 +666,10 @@ def main(argv=None):
     p.add_argument("--threshold", type=float, default=0.20,
                    help="relative regression threshold for --compare "
                         "(0.20 = 20%%)")
+    p.add_argument("--overhead", action="store_true",
+                   help="measure accounting+telemetry overhead on the "
+                        "pipe simperf workload vs the hot baseline; "
+                        "exit nonzero above --threshold (CI passes 0.05)")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -124,6 +124,11 @@ def run_spec(spec):
     metrics["simulated_ns"] = session.kernel.now
     metrics["total_wakeups"] = session.kernel.stats.total_wakeups
     metrics["total_migrations"] = session.kernel.stats.total_migrations
+    if session.telemetry is not None:
+        # Windowed time-series + SLO tallies ride along in the result
+        # file; everything in the summary derives from virtual time, so
+        # the payload stays deterministic.
+        metrics["telemetry"] = session.telemetry.summary()
     return metrics
 
 
@@ -522,3 +527,55 @@ def compare_simperf(trajectory, threshold=0.20, workloads=None):
             f"[{baseline.get('git_rev', '?')[:12]} -> "
             f"{newest.get('git_rev', '?')[:12]}] {verdict}")
     return ok, lines
+
+
+# ----------------------------------------------------------------------
+# telemetry-overhead gate
+# ----------------------------------------------------------------------
+
+#: SLOs used by the overhead gate's telemetry-enabled run: present so the
+#: SLOMonitor evaluation cost is part of what the gate measures.
+OVERHEAD_SLOS = (
+    {"name": "p99-wakeup", "metric": "wakeup_p99_ns", "max": 5_000_000},
+    {"name": "depth", "metric": "rq_depth_max", "max": 64},
+)
+
+
+def run_overhead_check(threshold=0.05, rounds=2000, repeats=3, rev=None,
+                       telemetry_ns=1_000_000):
+    """The telemetry-overhead gate behind ``repro bench --overhead``.
+
+    Runs the pipe simperf workload twice per repeat — once bare (the
+    ``_hot`` fast path) and once with inline accounting, a 1 ms sampler,
+    and SLO monitors attached — alternating so thermal/allocator drift
+    hits both sides equally, then feeds the two best-of rates through the
+    same :func:`compare_simperf` machinery the perf gate uses.  Fails
+    (returns ``ok=False``) when the telemetry-enabled run is more than
+    ``threshold`` slower in sim-ns/wall-s.
+    """
+    from dataclasses import replace
+    rev = rev if rev is not None else git_rev()
+    base_spec = _simperf_spec("pipe", rounds)
+    telem_spec = replace(base_spec, name="simperf-pipe-telemetry",
+                         telemetry_ns=telemetry_ns, slos=OVERHEAD_SLOS)
+    best = {"hot": None, "telemetry": None}
+    sides = (("hot", base_spec), ("telemetry", telem_spec))
+    for _ in range(repeats):
+        for key, spec in sides:
+            start = time.perf_counter()
+            metrics = run_spec(spec)
+            wall = time.perf_counter() - start
+            rate = metrics["simulated_ns"] / wall if wall > 0 else 0.0
+            if best[key] is None or rate > best[key]["sim_ns_per_wall_s"]:
+                best[key] = {"sim_ns_per_wall_s": rate, "wall_s": wall,
+                             "simulated_ns": metrics["simulated_ns"]}
+    # A two-entry trajectory makes compare_simperf treat the hot run as
+    # the baseline and the telemetry run as the newest entry.
+    trajectory = {"kind": SIMPERF_KIND, "meta": {"sweep": SIMPERF_SWEEP},
+                  "entries": [
+                      {"workload": "pipe+telemetry",
+                       "git_rev": "hot-baseline", **best["hot"]},
+                      {"workload": "pipe+telemetry", "git_rev": rev,
+                       **best["telemetry"]},
+                  ]}
+    return compare_simperf(trajectory, threshold)

@@ -79,6 +79,7 @@ class Session:
         self.injector = None
         self.watchdog = None
         self.upgrades = None
+        self.telemetry = None
 
     # -- conveniences over the kernel ----------------------------------
 
@@ -106,6 +107,17 @@ class Session:
     def attach_sanitizers(self):
         from repro.verify.sanitizers import SanitizerSuite
         return SanitizerSuite.attach(self.kernel)
+
+    def attach_telemetry(self, interval_ns, slos=(), **kw):
+        """Attach inline accounting + the windowed sampler (and an
+        SLO monitor when ``slos`` are given)."""
+        from repro.obs.telemetry import TelemetrySampler
+        registry = (self.observer.registry if self.observer is not None
+                    else None)
+        kw.setdefault("registry", registry)
+        self.telemetry = TelemetrySampler.attach(
+            self.kernel, interval_ns, slos=tuple(slos), **kw)
+        return self.telemetry
 
     def install_faults(self, plan, fallback_policy=0,
                        watchdog_period_ns=None, lost_task_ns=None):
@@ -145,6 +157,8 @@ class Session:
         """Tear down attached machinery (watchdog timers etc.)."""
         if self.watchdog is not None:
             self.watchdog.stop()
+        if self.telemetry is not None:
+            self.telemetry.stop()
 
 
 class KernelBuilder:
@@ -322,4 +336,6 @@ class KernelBuilder:
             session.install_faults(FaultPlan.from_dict(spec.fault_plan))
         if spec.upgrade_at_ns:
             session.schedule_upgrade(spec.upgrade_at_ns)
+        if spec.telemetry_ns:
+            session.attach_telemetry(spec.telemetry_ns, slos=spec.slos)
         return session

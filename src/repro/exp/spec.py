@@ -66,9 +66,11 @@ class ScenarioSpec:
     fault_plan: dict = None                         # FaultPlan.to_dict()
     upgrade_at_ns: int = 0                          # 0 = no live upgrade
     record: bool = False
+    telemetry_ns: int = 0                           # 0 = no sampler
+    slos: tuple = ()                                # SLOTarget.to_dict()s
 
     def to_dict(self):
-        return {
+        out = {
             "name": self.name,
             "topology": self.topology,
             "seed": self.seed,
@@ -83,13 +85,23 @@ class ScenarioSpec:
             "upgrade_at_ns": self.upgrade_at_ns,
             "record": self.record,
         }
+        # Telemetry fields are emitted only when set so pre-existing spec
+        # hashes (the bench cache key) are unchanged by their addition.
+        if self.telemetry_ns:
+            out["telemetry_ns"] = self.telemetry_ns
+        if self.slos:
+            out["slos"] = [dict(s) for s in self.slos]
+        return out
 
     @classmethod
     def from_dict(cls, data):
         known = {f: data[f] for f in (
             "name", "topology", "seed", "config", "sched", "sched_options",
             "base_sched", "policy", "workload", "workload_options",
-            "fault_plan", "upgrade_at_ns", "record") if f in data}
+            "fault_plan", "upgrade_at_ns", "record", "telemetry_ns",
+            ) if f in data}
+        if "slos" in data:
+            known["slos"] = tuple(dict(s) for s in data["slos"])
         return cls(**known)
 
     def with_seed(self, seed):

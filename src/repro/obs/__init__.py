@@ -21,15 +21,37 @@ With no observer attached every hook site is a single ``is None`` test —
 the null-hook fast path keeps disabled-tracing overhead near zero.
 """
 
+from repro.obs.accounting import (
+    KernelAccounting,
+    merge_accounting_snapshots,
+    task_delay_row,
+)
 from repro.obs.export import (
     chrome_trace,
     ftrace_lines,
     write_chrome,
     write_ftrace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_histogram_snapshots,
+    merge_registry_snapshots,
+)
 from repro.obs.observer import Observer
 from repro.obs.profiler import CallbackProfile, CallbackProfiler
+from repro.obs.telemetry import (
+    SLOMonitor,
+    SLOTarget,
+    TelemetrySampler,
+    build_report,
+    latency_heatmap,
+    render_report_markdown,
+    render_top_frame,
+    timeseries_csv,
+)
 
 __all__ = [
     "CallbackProfile",
@@ -37,10 +59,23 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "KernelAccounting",
     "MetricsRegistry",
     "Observer",
+    "SLOMonitor",
+    "SLOTarget",
+    "TelemetrySampler",
+    "build_report",
     "chrome_trace",
     "ftrace_lines",
+    "latency_heatmap",
+    "merge_accounting_snapshots",
+    "merge_histogram_snapshots",
+    "merge_registry_snapshots",
+    "render_report_markdown",
+    "render_top_frame",
+    "task_delay_row",
+    "timeseries_csv",
     "write_chrome",
     "write_ftrace",
 ]

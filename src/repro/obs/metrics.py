@@ -8,6 +8,13 @@ bounded relative error (at most 1/8 with the default 8 sub-buckets per
 octave) while
 ingestion stays O(1) with a small fixed memory footprint — the property
 the paper's overhead ablation needs from in-kernel telemetry.
+
+Every metric is **mergeable**: :meth:`Histogram.merge` folds another
+histogram's buckets in exactly (bucket counts are integers, so the merge
+is lossless and associative), and the snapshot-level helpers
+(:func:`merge_histogram_snapshots`, :func:`merge_registry_snapshots`)
+do the same over the plain-data dumps — the substrate N sharded kernels
+use to aggregate fleet-wide telemetry without sharing live objects.
 """
 
 #: sub-bucket resolution: 2**SUBBUCKET_BITS linear slots per power of two
@@ -34,6 +41,31 @@ def _bucket_bounds(index):
     return lower, lower + (1 << shift)
 
 
+def _percentile_from_buckets(buckets, count, lo, hi, p):
+    """Percentile ``p`` over a bucket-index -> count map.
+
+    Shared by live histograms and merged snapshots so both agree exactly.
+    Returns 0.0 when the distribution is empty.
+    """
+    if not count:
+        return 0.0
+    if p <= 0:
+        return float(lo)
+    if p >= 100:
+        return float(hi)
+    target = p / 100.0 * count
+    seen = 0
+    for index in sorted(buckets):
+        in_bucket = buckets[index]
+        if seen + in_bucket >= target:
+            lower, upper = _bucket_bounds(index)
+            fraction = (target - seen) / in_bucket
+            value = lower + (upper - lower) * fraction
+            return float(min(max(value, lo), hi))
+        seen += in_bucket
+    return float(hi)
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -51,19 +83,37 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (set, not accumulated)."""
+    """A point-in-time value, with min/max watermarks.
 
-    __slots__ = ("name", "value")
+    The watermarks track every value the gauge has ever held (hint-ring
+    pressure and run-queue depth need high-watermarks — the peak matters
+    even when the last-set value is back to zero).
+    """
+
+    __slots__ = ("name", "value", "min_value", "max_value")
 
     def __init__(self, name):
         self.name = name
         self.value = 0
+        self.min_value = None
+        self.max_value = None
 
     def set(self, value):
         self.value = value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
 
     def add(self, delta):
-        self.value += delta
+        self.set(self.value + delta)
+
+    def snapshot(self):
+        return {
+            "value": self.value,
+            "min": self.min_value if self.min_value is not None else 0,
+            "max": self.max_value if self.max_value is not None else 0,
+        }
 
     def __repr__(self):
         return f"Gauge({self.name!r}, {self.value})"
@@ -95,6 +145,36 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def merge(self, other):
+        """Fold ``other``'s samples into this histogram, losslessly.
+
+        Bucket counts are integers, so merging is exact and associative:
+        ``merge(a, b)`` then ``merge(ab, c)`` equals any other grouping.
+        Returns ``self`` for chaining.
+        """
+        buckets = self.buckets
+        for index, in_bucket in other.buckets.items():
+            buckets[index] = buckets.get(index, 0) + in_bucket
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def copy(self, name=None):
+        """An independent duplicate (merge targets shouldn't alias)."""
+        out = Histogram(name if name is not None else self.name)
+        out.buckets = dict(self.buckets)
+        out.count = self.count
+        out.sum = self.sum
+        out.min = self.min
+        out.max = self.max
+        return out
+
     @property
     def mean(self):
         return self.sum / self.count if self.count else 0.0
@@ -102,23 +182,8 @@ class Histogram:
     def percentile(self, p):
         """The value at percentile ``p`` (0..100), interpolated inside the
         containing bucket.  Returns 0.0 for an empty histogram."""
-        if not self.count:
-            return 0.0
-        if p <= 0:
-            return float(self.min)
-        if p >= 100:
-            return float(self.max)
-        target = p / 100.0 * self.count
-        seen = 0
-        for index in sorted(self.buckets):
-            in_bucket = self.buckets[index]
-            if seen + in_bucket >= target:
-                lower, upper = _bucket_bounds(index)
-                fraction = (target - seen) / in_bucket
-                value = lower + (upper - lower) * fraction
-                return float(min(max(value, self.min), self.max))
-            seen += in_bucket
-        return float(self.max)
+        return _percentile_from_buckets(self.buckets, self.count,
+                                        self.min, self.max, p)
 
     def quantiles(self):
         """The standard latency summary: p50/p90/p99/p999."""
@@ -130,18 +195,88 @@ class Histogram:
         }
 
     def snapshot(self):
+        """Plain-data dump.  ``buckets`` carries the full distribution
+        (sorted ``[index, count]`` pairs), so snapshots merge losslessly
+        via :func:`merge_histogram_snapshots` and JSON round-trips keep
+        the heatmap/merge fidelity."""
         out = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min or 0,
             "max": self.max or 0,
             "mean": self.mean,
+            "buckets": [[index, self.buckets[index]]
+                        for index in sorted(self.buckets)],
         }
         out.update(self.quantiles())
         return out
 
+    @classmethod
+    def from_snapshot(cls, snap, name=""):
+        """Rebuild a live histogram from a :meth:`snapshot` dump."""
+        out = cls(name)
+        out.buckets = {int(i): int(n) for i, n in snap.get("buckets", [])}
+        out.count = snap.get("count", 0)
+        out.sum = snap.get("sum", 0)
+        if out.count:
+            out.min = snap.get("min", 0)
+            out.max = snap.get("max", 0)
+        return out
+
     def __repr__(self):
         return f"Histogram({self.name!r}, n={self.count})"
+
+
+def merge_histogram_snapshots(a, b):
+    """Merge two histogram snapshot dicts exactly.
+
+    Works on the plain-data form (so it composes across process and JSON
+    boundaries) and is associative: bucket counts, totals, and extremes
+    are integer sums/min/max, and the derived stats are recomputed from
+    the merged buckets.
+    """
+    merged = Histogram.from_snapshot(a)
+    merged.merge(Histogram.from_snapshot(b))
+    return merged.snapshot()
+
+
+def merge_registry_snapshots(a, b):
+    """Merge two :meth:`MetricsRegistry.snapshot` dumps.
+
+    Fleet-aggregation semantics: counters sum, gauge values sum (their
+    watermarks take the elementwise min/max), histograms merge exactly.
+    Metric names present in only one snapshot pass through unchanged.
+    """
+    counters = dict(a.get("counters", {}))
+    for name, value in b.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = {}
+    a_gauges = a.get("gauges", {})
+    b_gauges = b.get("gauges", {})
+    for name in set(a_gauges) | set(b_gauges):
+        ga = a_gauges.get(name)
+        gb = b_gauges.get(name)
+        if ga is None or gb is None:
+            gauges[name] = dict(ga if ga is not None else gb)
+            continue
+        gauges[name] = {
+            "value": ga["value"] + gb["value"],
+            "min": min(ga["min"], gb["min"]),
+            "max": max(ga["max"], gb["max"]),
+        }
+    histograms = {}
+    a_hists = a.get("histograms", {})
+    b_hists = b.get("histograms", {})
+    for name in set(a_hists) | set(b_hists):
+        ha = a_hists.get(name)
+        hb = b_hists.get(name)
+        if ha is None or hb is None:
+            histograms[name] = dict(ha if ha is not None else hb)
+            continue
+        histograms[name] = merge_histogram_snapshots(ha, hb)
+    return {"counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items()))}
 
 
 class MetricsRegistry:
@@ -174,7 +309,9 @@ class MetricsRegistry:
         """Plain-data dump of every metric (JSON-serialisable)."""
         return {
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "gauges": {
+                n: g.snapshot() for n, g in sorted(self.gauges.items())
+            },
             "histograms": {
                 n: h.snapshot() for n, h in sorted(self.histograms.items())
             },
@@ -188,9 +325,11 @@ class MetricsRegistry:
             for name, counter in sorted(self.counters.items()):
                 lines.append(f"  {name:<42s} {counter.value}")
         if self.gauges:
-            lines.append("gauges:")
+            lines.append("gauges (value / min / max):")
             for name, gauge in sorted(self.gauges.items()):
-                lines.append(f"  {name:<42s} {gauge.value}")
+                lo = gauge.min_value if gauge.min_value is not None else 0
+                hi = gauge.max_value if gauge.max_value is not None else 0
+                lines.append(f"  {name:<42s} {gauge.value} / {lo} / {hi}")
         if self.histograms:
             lines.append("histograms (ns):")
             header = (f"  {'name':<34s} {'count':>8s} {'mean':>10s} "

@@ -98,6 +98,13 @@ class Observer(SchedTracer):
         elif kind == "enoki_msg":
             registry.histogram("enoki.msg_wall_ns").record(
                 fields.get("wall_ns", 0))
+        elif kind == "hint_enqueue":
+            # The gauge's max watermark is the peak ring pressure.
+            registry.gauge("enoki.hint_ring_depth").set(
+                fields.get("depth", 0))
+        elif kind == "slo_violation":
+            registry.counter(
+                "slo.traced." + str(fields.get("slo", "?"))).inc()
         elif kind == "enoki_panic":
             registry.counter("containment.panics").inc()
             registry.counter(
@@ -144,6 +151,9 @@ class Observer(SchedTracer):
             registry.gauge(f"kernel.{prefix}.idle_ns").set(cpu_stats.idle_ns)
             registry.gauge(f"kernel.{prefix}.switches").set(
                 cpu_stats.switches)
+            registry.gauge(f"kernel.{prefix}.steals").set(cpu_stats.steals)
+            registry.gauge(f"kernel.{prefix}.nr_running").set(
+                kernel.rqs[cpu_stats.cpu].nr_running)
         latency_hist = registry.histogram("task.wakeup_latency_ns")
         for task in kernel.tasks.values():
             for sample in task.stats.wakeup_latencies:

@@ -87,8 +87,14 @@ class DispatchEngine:
             base_cost=cls.invocation_cost_ns("task_preempt"),
         )
 
-    def deschedule_current(self, cpu, disposition):
-        """The current task leaves the CPU voluntarily."""
+    def deschedule_current(self, cpu, disposition, block_reason=None):
+        """The current task leaves the CPU voluntarily.
+
+        ``block_reason`` distinguishes voluntary sleep (``"sleep"``) from
+        involuntary blocking (pipe/futex/semaphore, the default) for delay
+        accounting — Linux's sleep vs. block split in /proc/<pid>/schedstat
+        terms.
+        """
         k = self.k
         rq = k.rqs[cpu]
         prev = rq.current
@@ -101,7 +107,10 @@ class DispatchEngine:
         cls = k.class_of(prev)
         if disposition == BLOCK:
             prev.set_state(TaskState.BLOCKED)
-            prev.stats.blocked_count += 1
+            stats = prev.stats
+            stats.blocked_count += 1
+            stats.block_since_ns = k.now
+            stats.block_is_sleep = block_reason == "sleep"
             cls.task_blocked(prev, cpu)
             hook = "task_blocked"
         elif disposition == YIELD:
@@ -194,12 +203,22 @@ class DispatchEngine:
         start = now + cost
         task.exec_start_ns = start
         task.run_started_ns = start
+        stats = task.stats
+        stats.timeslices += 1
+        if stats.wait_since_ns >= 0:
+            # Close the wait segment at ``start``: context-switch cost is
+            # time spent waiting for the CPU, not running on it.
+            stats.wait_ns += start - stats.wait_since_ns
+            stats.wait_since_ns = -1
         if task.last_wakeup_ns >= 0:
             latency = start - task.last_wakeup_ns
-            task.stats.note_wakeup_latency(
+            stats.note_wakeup_latency(
                 latency, k.collect_wakeup_samples
             )
             task.last_wakeup_ns = -1
+            acct = k.accounting
+            if acct is not None:
+                acct.note_wakeup(latency)
         epoch = task.run_epoch
         if task.run_remaining_ns > 0:
             # A banked Run segment resumes unconditionally, so skip the
@@ -286,4 +305,7 @@ class DispatchEngine:
         pid_map[cur.pid] = pid_map.get(cur.pid, 0) + delta
         tgid_map = stats.busy_ns_by_tgid
         tgid_map[cur.tgid] = tgid_map.get(cur.tgid, 0) + delta
+        acct = k.accounting
+        if acct is not None:
+            acct.note_run(cur.policy, delta)
         k.class_of(cur).update_curr(cur, delta)

@@ -158,7 +158,8 @@ class OpInterpreter:
             k.dispatcher.deschedule_current(cpu, BLOCK)
             return
         if isinstance(op, ops.Sleep):
-            k.dispatcher.deschedule_current(cpu, BLOCK)
+            k.dispatcher.deschedule_current(cpu, BLOCK,
+                                            block_reason="sleep")
             k.timers.arm(op.ns, lambda _t: k.wake_task(task),
                          tag=("sleep", task.pid))
             return

@@ -68,6 +68,10 @@ class Kernel:
         self._rng = random.Random(self.config.seed ^ 0x5EED)
         self.collect_wakeup_samples = True
         self.trace = None
+        # Optional accounting sink (repro.obs.accounting).  Like ``trace``
+        # it is a plain attribute read plus one ``is None`` test at each
+        # hook site, so the ``_hot`` fast path pays nothing when detached.
+        self.accounting = None
         # The four subsystems; each owns behaviour, the facade owns state.
         self.interp = OpInterpreter(self)
         self.dispatcher = DispatchEngine(self)
@@ -241,8 +245,17 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def _attach_runnable(self, task, cpu):
-        self.rqs[cpu].attach(task)
+        rq = self.rqs[cpu]
+        rq.attach(task)
         task.last_enqueue_ns = self.now
+        # Delay accounting: open the wait segment unless one is already
+        # open (deferred-placement limbo opens it at wakeup time, before
+        # the task reaches any run queue).
+        if task.stats.wait_since_ns < 0:
+            task.stats.wait_since_ns = self.now
+        acct = self.accounting
+        if acct is not None:
+            acct.note_enqueue(cpu, len(rq.queued))
 
     # ------------------------------------------------------------------
     # queries used by scheduler classes and workloads

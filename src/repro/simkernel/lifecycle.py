@@ -49,6 +49,8 @@ class LifecycleManager:
                      + cls.invocation_cost_ns("task_new"))
         if cpu == DEFERRED_CPU:
             k._limbo.add(task.pid)
+            # Limbo counts as wait for delay accounting (see wake_task).
+            task.stats.wait_since_ns = k.now
             cls.task_new(task, DEFERRED_CPU)
             if k.trace is not None:
                 k.trace("fork", t=k.now, cpu=origin_cpu, pid=task.pid,

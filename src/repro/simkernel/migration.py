@@ -63,12 +63,24 @@ class MigrationService:
         task.last_wakeup_ns = k.now
         task.wakeup_flags = flags
         k.stats.total_wakeups += 1
+        stats = task.stats
+        if stats.block_since_ns >= 0:
+            # Close the sleep/block segment at wakeup time.
+            delta = k.now - stats.block_since_ns
+            if stats.block_is_sleep:
+                stats.sleep_ns += delta
+            else:
+                stats.block_ns += delta
+            stats.block_since_ns = -1
         hook_cost = (cls.invocation_cost_ns("select_task_rq")
                      + cls.invocation_cost_ns("task_wakeup"))
         waker = waker_cpu if waker_cpu is not None else -1
         cpu = self.invoke_select(cls, task, task.cpu, flags, waker)
         if cpu == DEFERRED_CPU:
             k._limbo.add(task.pid)
+            # Limbo time is wait time: the task is runnable but parked
+            # until the asynchronous scheduler places it.
+            stats.wait_since_ns = k.now
             cls.task_wakeup(task, DEFERRED_CPU)
             if k.trace is not None:
                 k.trace("wakeup", t=k.now, cpu=-1, pid=task.pid,
@@ -193,6 +205,7 @@ class MigrationService:
         k.rqs[dest_cpu].attach(task)
         task.stats.migrations += 1
         k.stats.total_migrations += 1
+        k.stats.cpus[dest_cpu].steals += 1
         cls.migrate_task_rq(task, dest_cpu)
         if k.trace is not None:
             k.trace("migrate", t=k.now, cpu=dest_cpu, pid=pid,

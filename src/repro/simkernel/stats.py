@@ -9,7 +9,7 @@ class CpuStats:
     """Accumulated per-CPU counters."""
 
     __slots__ = (
-        "cpu", "busy_ns", "idle_ns", "switches",
+        "cpu", "busy_ns", "idle_ns", "switches", "steals",
         "busy_ns_by_pid", "busy_ns_by_tgid",
     )
 
@@ -18,6 +18,7 @@ class CpuStats:
         self.busy_ns = 0
         self.idle_ns = 0
         self.switches = 0
+        self.steals = 0              # tasks pulled onto this CPU by migration
         self.busy_ns_by_pid = {}
         self.busy_ns_by_tgid = {}
 

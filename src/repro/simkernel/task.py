@@ -160,6 +160,8 @@ class TaskStats:
         "wakeup_samples_dropped",
         "migrations", "preemptions", "yields",
         "created_ns", "finished_ns", "blocked_count",
+        "timeslices", "wait_ns", "sleep_ns", "block_ns",
+        "wait_since_ns", "block_since_ns", "block_is_sleep",
     )
 
     def __init__(self, sample_cap=WAKEUP_SAMPLE_CAP):
@@ -176,6 +178,20 @@ class TaskStats:
         self.created_ns = -1
         self.finished_ns = -1
         self.blocked_count = 0
+        # Delay accounting (Linux schedstat analogue): every nanosecond of
+        # a task's life is attributed to exactly one of run (charged via
+        # ``sum_exec_runtime_ns``), wait (runnable, off CPU), sleep
+        # (voluntary, e.g. ``Sleep``) or block (involuntary, e.g. pipe
+        # full/empty, futex).  ``*_since_ns`` mark open segments (-1 when
+        # no segment is open); the dispatcher and migration service close
+        # them inline so the numbers are exact with no tracer attached.
+        self.timeslices = 0
+        self.wait_ns = 0
+        self.sleep_ns = 0
+        self.block_ns = 0
+        self.wait_since_ns = -1
+        self.block_since_ns = -1
+        self.block_is_sleep = False
 
     def note_wakeup_latency(self, latency_ns, keep_samples):
         self.wakeups += 1
