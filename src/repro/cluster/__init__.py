@@ -1,0 +1,54 @@
+"""``repro.cluster``: a fault-tolerant simulated fleet.
+
+The single-machine story (one kernel, one scheduler module, containment,
+failover, live upgrade) scales out here: a :class:`ClusterFleet` runs N
+independent simulated kernels — each its own Session, scheduler stack,
+topology, and derived seed — behind a :class:`ClusterRouter` that owns
+the exactly-once request ledger.  Retries with backoff + jitter, hedged
+requests, health-driven eviction (:class:`HealthMonitor`), draining and
+re-admission, whole-machine chaos from fleet FaultPlans, and rolling
+live upgrades with automatic rollback (:class:`RollingUpgrade`) all
+compose on top of the machinery the rest of the repo already trusts.
+
+``run_cluster_spec`` is the bench entry point: it accepts the
+``workload="cluster"`` ScenarioSpec form that
+:meth:`~repro.exp.spec.ClusterSpec.to_scenario_spec` produces, so fleet
+episodes shard and cache through ``repro.exp.bench`` like any other
+scenario.
+"""
+
+from repro.cluster.fleet import ClusterFleet
+from repro.cluster.health import HealthMonitor, MachineHealth
+from repro.cluster.machine import ClusterMachine
+from repro.cluster.rolling import RollingUpgrade
+from repro.cluster.router import ClusterRouter, Request
+
+__all__ = [
+    "ClusterFleet",
+    "ClusterMachine",
+    "ClusterRouter",
+    "HealthMonitor",
+    "MachineHealth",
+    "Request",
+    "RollingUpgrade",
+    "run_cluster_spec",
+]
+
+
+def run_cluster_spec(spec):
+    """Run one fleet episode from a ``workload="cluster"`` ScenarioSpec
+    (or a ClusterSpec); returns the deterministic metrics dict, with the
+    exactly-once audit already applied (violations ride in the payload —
+    callers decide whether they are fatal)."""
+    from repro.exp.spec import ClusterSpec
+    from repro.verify.cluster import check_cluster_ledger
+    if not isinstance(spec, ClusterSpec):
+        spec = ClusterSpec.from_scenario_spec(spec)
+    fleet = ClusterFleet(spec)
+    metrics = fleet.run()
+    violations = check_cluster_ledger(fleet)
+    metrics["invariant"] = {
+        "exactly_once": not violations,
+        "violations": [v.to_dict() for v in violations],
+    }
+    return metrics

@@ -1,0 +1,262 @@
+"""The fleet: N machines + router + health + rolling upgrades, in rounds.
+
+:class:`ClusterFleet` advances cluster virtual time in fixed rounds of
+``round_ns``; every machine's kernel runs the same quantum per round
+(lockstep rounds, independent clocks).  One round is:
+
+1. execute whole-machine faults that come due (crash/stall/reboot from
+   the fleet FaultPlan's ``machine_*`` specs);
+2. admit this round's request arrivals (deterministic schedule, seeded
+   per-request work jitter);
+3. route: pop ready/retry-eligible requests, pick machines
+   (power-of-two-choices over live in-flight counts), spawn the work;
+4. hedge slow attempts when hedging is on;
+5. advance every up machine by ``round_ns`` and collect completions
+   (deduplicated in the router's ledger);
+6. scan attempt timeouts, scheduling backoff retries;
+7. probe health, evict strikers (draining their in-flight requests to
+   peers), readmit recovered machines;
+8. step the rolling upgrade state machine, if one is configured.
+
+The loop ends when every admitted request is terminal, arrivals are
+done, and any rolling upgrade has reached a terminal state — or at the
+``max_rounds`` hard bound.  Everything (arrivals, jitter, routing,
+backoff, faults, membership) derives from the spec's seed, so a fleet
+episode replays bit-identically.
+"""
+
+import random
+
+from repro.cluster.health import HealthMonitor
+from repro.cluster.machine import ClusterMachine
+from repro.cluster.router import ClusterRouter
+from repro.cluster.rolling import RollingUpgrade
+from repro.core.faults import FaultPlan
+from repro.exp.spec import ClusterSpec, canonical_fault_plan
+
+#: salt for the arrival-jitter RNG stream
+_ARRIVAL_SALT = 0x41525256
+
+
+class ClusterFleet:
+    """A bootable simulated fleet driven round by round."""
+
+    def __init__(self, spec):
+        if isinstance(spec, dict):
+            spec = ClusterSpec.from_dict(spec)
+        self.spec = spec
+        self.round_ns = spec.round_ns
+        self.now_ns = 0
+        self.rounds = 0
+        self.router = ClusterRouter(spec.router_config(), seed=spec.seed)
+        self.health = HealthMonitor(spec.health_config(), spec.machines)
+        self.machines = [ClusterMachine(spec, m)
+                         for m in range(spec.machines)]
+        self.rolling = (RollingUpgrade(spec.upgrade, self)
+                        if spec.upgrade is not None else None)
+        self._arrivals = self._arrival_schedule()
+        self._next_arrival = 0
+        self._machine_faults = self._machine_fault_schedule()
+        self._reboots = []          # (due_ns, machine)
+
+    # ------------------------------------------------------------------
+    # deterministic schedules
+    # ------------------------------------------------------------------
+
+    def _arrival_schedule(self):
+        """``[(round, work_ns)]``: the request load, fixed up front."""
+        cfg = self.spec.request_config()
+        rng = random.Random(self.spec.seed ^ _ARRIVAL_SALT)
+        count = cfg["count"]
+        rounds = max(1, cfg["arrival_rounds"])
+        jitter = cfg["work_jitter"]
+        schedule = []
+        for i in range(count):
+            arrival_round = (i * rounds) // count
+            work = cfg["work_ns"]
+            if jitter:
+                work = max(1, int(work * (1.0 + jitter
+                                          * (2 * rng.random() - 1))))
+            schedule.append((arrival_round, work))
+        return schedule
+
+    def _machine_fault_schedule(self):
+        """Whole-machine faults from the fleet plan, sorted by time."""
+        if self.spec.fault_plan is None:
+            return []
+        plan = FaultPlan.from_dict(
+            canonical_fault_plan(self.spec.fault_plan))
+        faults = []
+        for fault_spec in plan.machine_specs():
+            if fault_spec.machine >= len(self.machines):
+                continue        # plan written for a bigger fleet
+            faults.append({
+                "at_ns": fault_spec.at_ns,
+                "kind": fault_spec.kind,
+                "machine": fault_spec.machine,
+                "duration_ns": fault_spec.duration_ns,
+                "fired": False,
+            })
+        faults.sort(key=lambda f: (f["at_ns"], f["machine"]))
+        return faults
+
+    # ------------------------------------------------------------------
+    # round phases
+    # ------------------------------------------------------------------
+
+    def boot(self):
+        for machine in self.machines:
+            machine.boot()
+
+    def _execute_machine_faults(self):
+        for fault in self._machine_faults:
+            if fault["fired"] or fault["at_ns"] > self.now_ns:
+                continue
+            fault["fired"] = True
+            machine = self.machines[fault["machine"]]
+            if fault["kind"] == "machine_crash":
+                lost = machine.crash()
+                self.router.machine_died(machine.index, lost, self.now_ns)
+                if fault["duration_ns"] > 0:
+                    self._reboots.append(
+                        (self.now_ns + fault["duration_ns"],
+                         machine.index))
+            else:
+                machine.stall(fault["duration_ns"])
+        if self._reboots:
+            due = [(t, m) for t, m in self._reboots if t <= self.now_ns]
+            self._reboots = [(t, m) for t, m in self._reboots
+                             if t > self.now_ns]
+            for _t, machine_index in sorted(due):
+                self.machines[machine_index].reboot()
+
+    def _admit_arrivals(self):
+        while (self._next_arrival < len(self._arrivals)
+               and self._arrivals[self._next_arrival][0] <= self.rounds):
+            _round, work_ns = self._arrivals[self._next_arrival]
+            self._next_arrival += 1
+            self.router.admit(work_ns, self.now_ns)
+
+    def _routable(self):
+        """Machines that are both health-admitted and physically up."""
+        return [m for m in self.health.routable() if self.machines[m].up]
+
+    def _inflight_by_machine(self):
+        counts = {}
+        for machine in self.machines:
+            counts[machine.index] = len(machine.inflight_request_ids())
+        return counts
+
+    def _dispatch_round(self):
+        routable = self._routable()
+        inflight = self._inflight_by_machine()
+        for request, machine_index in self.router.take_dispatches(
+                self.now_ns, routable, inflight):
+            self.machines[machine_index].dispatch(request)
+            self.router.note_dispatched(request, machine_index,
+                                        self.now_ns)
+        for request, machine_index in self.router.take_hedges(
+                self.now_ns, routable, self._inflight_by_machine()):
+            self.machines[machine_index].dispatch(request)
+            self.router.note_dispatched(request, machine_index,
+                                        self.now_ns, kind="hedge")
+
+    def _advance_machines(self):
+        end_ns = self.now_ns + self.round_ns
+        for machine in self.machines:
+            machine.advance(self.round_ns)
+            for request_id in machine.take_completions():
+                self.router.on_complete(request_id, machine.index, end_ns)
+
+    def _probe_health(self, timeout_by_machine):
+        routable = None
+        for machine in self.machines:
+            signals = machine.health_signals()
+            decision = self.health.observe(
+                self.rounds, machine.index, signals,
+                timeouts=timeout_by_machine.get(machine.index, 0))
+            if decision == "evict":
+                if routable is None:
+                    routable = self._routable()
+                self._drain(machine.index, routable)
+
+    def _drain(self, evicted, routable):
+        """Re-route an evicted machine's in-flight work onto peers.
+
+        Budget-free "drain" dispatches: this is operator-driven
+        re-routing, not a failure retry.  The evicted machine keeps
+        running whatever it has (unless it is dead) — if its copy
+        finishes first the ledger dedupes the drain's copy.
+        """
+        peers = [m for m in routable if m != evicted]
+        if not peers:
+            return
+        inflight = self._inflight_by_machine()
+        for request in self.router.drain_machine(evicted, self.now_ns):
+            target = self.router._choose_machine(peers, inflight,
+                                                 exclude={evicted})
+            if target is None:
+                break
+            inflight[target] = inflight.get(target, 0) + 1
+            self.machines[target].dispatch(request)
+            self.router.note_dispatched(request, target, self.now_ns,
+                                        kind="drain")
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+
+    def _done(self):
+        if self._next_arrival < len(self._arrivals):
+            return False
+        counts = self.router.state_counts()
+        if counts["queued"] or counts["inflight"]:
+            return False
+        if self.rolling is not None and not self.rolling.terminal:
+            return False
+        if self._reboots or any(not f["fired"]
+                                for f in self._machine_faults):
+            return False
+        return True
+
+    def step(self):
+        """One cluster round."""
+        self._execute_machine_faults()
+        self._admit_arrivals()
+        self._dispatch_round()
+        self._advance_machines()
+        self.now_ns += self.round_ns
+        dead = {m.index for m in self.machines if m.state == "down"}
+        timeout_by_machine = self.router.scan_timeouts(self.now_ns, dead)
+        self._probe_health(timeout_by_machine)
+        if self.rolling is not None:
+            self.rolling.step(self.rounds)
+        self.rounds += 1
+
+    def run(self):
+        """Boot and drive the fleet to completion; returns the result."""
+        self.boot()
+        while self.rounds < self.spec.max_rounds and not self._done():
+            self.step()
+        for machine in self.machines:
+            machine.stop()
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+
+    def result(self):
+        """The deterministic episode roll-up (bench payload shape)."""
+        out = {
+            "rounds": self.rounds,
+            "cluster_ns": self.now_ns,
+            "machines": self.spec.machines,
+            "simulated_ns": sum(m.advanced_ns for m in self.machines),
+            "router": self.router.summary(),
+            "health": self.health.summary(),
+            "per_machine": [m.snapshot() for m in self.machines],
+        }
+        if self.rolling is not None:
+            out["rolling_upgrade"] = self.rolling.summary()
+        return out

@@ -1,0 +1,152 @@
+"""Health-driven fleet membership: probe, strike, evict, readmit.
+
+Every round the fleet probes each machine's telemetry-backed signals
+(:meth:`ClusterMachine.health_signals`) and the router's per-machine
+timeout tallies.  The monitor diffs the cumulative counters against the
+previous round and converts bad deltas into **strikes**:
+
+* contained panics or failovers inside the machine,
+* SLO-violating telemetry windows,
+* request-attempt timeouts attributed to the machine,
+* an unresponsive probe (machine crashed or stalled).
+
+``evict_strikes`` strikes inside a sliding window of ``window_rounds``
+rounds evicts the machine: the router drains its in-flight requests onto
+peers and stops routing to it.  An evicted machine that stays up serves
+a **probation** of ``readmit_rounds`` clean rounds, then is readmitted.
+A machine that died is readmitted the same way once it reboots and
+probes healthy.  The whole state machine is deterministic — no wall
+clock, no randomness — so fleet membership history replays exactly.
+"""
+
+from dataclasses import dataclass, field
+
+ACTIVE = "active"
+EVICTED = "evicted"
+PROBATION = "probation"
+
+
+@dataclass
+class MachineHealth:
+    """Per-machine membership state + rolling strike history."""
+
+    index: int
+    membership: str = ACTIVE
+    #: strikes per round, oldest first, bounded by window_rounds
+    strike_history: list = field(default_factory=list)
+    clean_rounds: int = 0
+    evictions: int = 0
+    readmissions: int = 0
+    unresponsive_rounds: int = 0
+    last_signals: dict = field(default_factory=dict)
+
+    def window_strikes(self):
+        return sum(self.strike_history)
+
+
+class HealthMonitor:
+    """Turns telemetry signals into membership decisions."""
+
+    def __init__(self, config, machines):
+        self.config = dict(config)
+        self.health = {m: MachineHealth(index=m) for m in range(machines)}
+        #: (round, machine, "evict"/"readmit", reason) audit log
+        self.events = []
+
+    def routable(self):
+        """Machines the router may send new work to."""
+        return [m for m, h in sorted(self.health.items())
+                if h.membership == ACTIVE]
+
+    def membership(self, machine):
+        return self.health[machine].membership
+
+    # ------------------------------------------------------------------
+
+    def _strikes_for(self, health, signals, timeouts):
+        """Score one round of signals against the previous round."""
+        if not signals["responsive"]:
+            health.unresponsive_rounds += 1
+            return self.config["timeout_strikes"], "unresponsive"
+        health.unresponsive_rounds = 0
+        prev = health.last_signals
+        strikes = 0
+        reasons = []
+        for key in ("panics", "failovers", "slo_violations"):
+            delta = signals[key] - prev.get(key, 0)
+            if delta > 0:
+                strikes += 1
+                reasons.append(f"{key}+{delta}")
+        if timeouts > 0:
+            strikes += 1
+            reasons.append(f"timeouts+{timeouts}")
+        return strikes, ",".join(reasons)
+
+    def observe(self, round_index, machine, signals, timeouts=0):
+        """Feed one machine's round of signals; returns the decision:
+        ``None`` (no change), ``"evict"``, or ``"readmit"``."""
+        health = self.health[machine]
+        strikes, reason = self._strikes_for(health, signals, timeouts)
+        if signals["responsive"]:
+            health.last_signals = dict(signals)
+        health.strike_history.append(strikes)
+        window = self.config["window_rounds"]
+        if len(health.strike_history) > window:
+            del health.strike_history[:-window]
+        if strikes == 0:
+            health.clean_rounds += 1
+        else:
+            health.clean_rounds = 0
+
+        if health.membership == ACTIVE:
+            if health.window_strikes() >= self.config["evict_strikes"]:
+                health.membership = EVICTED
+                health.evictions += 1
+                health.clean_rounds = 0
+                self.events.append((round_index, machine, "evict", reason))
+                return "evict"
+            return None
+
+        # Evicted / on probation: a responsive machine with a clean
+        # window earns its way back in.
+        if signals["responsive"]:
+            health.membership = PROBATION
+            if health.clean_rounds >= self.config["readmit_rounds"]:
+                health.membership = ACTIVE
+                health.readmissions += 1
+                health.strike_history.clear()
+                self.events.append(
+                    (round_index, machine, "readmit",
+                     f"{health.clean_rounds} clean rounds"))
+                return "readmit"
+        else:
+            health.membership = EVICTED
+        return None
+
+    # ------------------------------------------------------------------
+
+    def gauges(self):
+        """Per-machine health gauges for the fleet snapshot."""
+        return {
+            m: {
+                "membership": h.membership,
+                "window_strikes": h.window_strikes(),
+                "clean_rounds": h.clean_rounds,
+                "evictions": h.evictions,
+                "readmissions": h.readmissions,
+                "unresponsive_rounds": h.unresponsive_rounds,
+            }
+            for m, h in sorted(self.health.items())
+        }
+
+    def summary(self):
+        return {
+            "evictions": sum(h.evictions for h in self.health.values()),
+            "readmissions": sum(h.readmissions
+                                for h in self.health.values()),
+            "events": [
+                {"round": r, "machine": m, "action": a, "reason": why}
+                for r, m, a, why in self.events
+            ],
+            "machines": self.gauges(),
+        }

@@ -1,0 +1,210 @@
+"""One fleet member: a full simulated kernel behind a thin lifecycle.
+
+A :class:`ClusterMachine` wraps the per-machine :class:`Session` built
+from ``ClusterSpec.machine_scenario(index)`` — its own topology, its own
+scheduler stack (Enoki module + native fallback + containment +
+watchdog), its own derived seed, its own telemetry windows.  The fleet
+only talks to machines through this class:
+
+* ``dispatch(request)`` spawns the request's work as a task on the
+  machine's kernel and remembers pid -> request id;
+* ``advance(delta_ns)`` runs the machine's virtual clock forward by one
+  cluster round (machines advance in lockstep rounds; each machine's
+  kernel keeps its own clock);
+* ``take_completions()`` drains the request ids whose tasks exited
+  since the last round;
+* ``crash()`` / ``stall(...)`` / ``reboot()`` execute whole-machine
+  faults (``machine_crash`` / ``machine_stall`` FaultSpecs) — a crash
+  loses everything in flight (the router re-routes), a stall freezes
+  the clock so in-flight work neither progresses nor completes until
+  the stall lifts;
+* ``health_signals()`` reads the cumulative counters health probes
+  feed on: contained panics, failovers, SLO-violating telemetry
+  windows, completions.
+
+Dispatch-level faults (the machine's slice of the fleet FaultPlan) are
+installed by the session builder and fire inside the machine — from the
+fleet's point of view they only show up as health signals, exactly like
+a real buggy scheduler module would.
+"""
+
+from repro.exp import KernelBuilder
+from repro.simkernel.program import Run
+
+UP = "up"
+STALLED = "stalled"
+DOWN = "down"
+
+
+class ClusterMachine:
+    """A bootable, crashable, stallable kernel instance."""
+
+    def __init__(self, cluster_spec, index):
+        self.cluster_spec = cluster_spec
+        self.index = index
+        self.scenario = cluster_spec.machine_scenario(index)
+        self.session = None
+        self.state = DOWN
+        self.boots = 0
+        #: cluster-virtual-time this machine spent actually running
+        self.advanced_ns = 0
+        self.stall_remaining_ns = 0
+        self._pid_to_request = {}
+        self._completions = []
+        self.dispatched = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def boot(self):
+        """(Re)build the machine's kernel from its scenario spec."""
+        self.session = KernelBuilder.session_from_spec(self.scenario)
+        self.session.kernel.on_task_exit(self._on_task_exit)
+        self.state = UP
+        self.boots += 1
+        self.stall_remaining_ns = 0
+        self._pid_to_request = {}
+        return self.session
+
+    def crash(self):
+        """Whole-machine failure: every in-flight request dies with it.
+
+        Returns the request ids that were running here so the router can
+        re-route them.  The kernel object is dropped wholesale — exactly
+        what power loss does to scheduler state.
+        """
+        lost = sorted(set(self._pid_to_request.values()))
+        if self.session is not None:
+            self.session.stop()
+        self.session = None
+        self.state = DOWN
+        self._pid_to_request = {}
+        self._completions = []
+        return lost
+
+    def stall(self, duration_ns):
+        """Freeze the machine: its clock stops, in-flight work makes no
+        progress, and nothing completes until the stall lifts.  Unlike a
+        crash, state survives — late completions surface afterwards (and
+        the router dedupes the ones it already retried elsewhere)."""
+        self.state = STALLED
+        self.stall_remaining_ns = duration_ns
+
+    def reboot(self):
+        return self.boot()
+
+    @property
+    def up(self):
+        return self.state == UP
+
+    # ------------------------------------------------------------------
+    # work
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request):
+        """Spawn the request's compute as a task on this machine."""
+        work_ns = request.work_ns
+
+        def program():
+            yield Run(work_ns)
+
+        task = self.session.spawn(program, name=f"req{request.id}")
+        self._pid_to_request[task.pid] = request.id
+        self.dispatched += 1
+        return task
+
+    def _on_task_exit(self, task):
+        request_id = self._pid_to_request.pop(task.pid, None)
+        if request_id is not None:
+            self._completions.append(request_id)
+            self.completed += 1
+
+    def advance(self, delta_ns):
+        """Run this machine's kernel forward one cluster round.
+
+        Keeps the telemetry sampler armed: the sampler auto-cancels once
+        the machine goes idle between request bursts, and fleet health
+        needs continuous windows, so every round restarts it (a no-op
+        while it is running).
+        """
+        if self.state == DOWN:
+            return
+        if self.state == STALLED:
+            self.stall_remaining_ns -= delta_ns
+            if self.stall_remaining_ns <= 0:
+                self.state = UP
+                self.stall_remaining_ns = 0
+            return
+        if self.session.telemetry is not None:
+            self.session.telemetry.start()
+        self.session.kernel.run_for(delta_ns)
+        self.advanced_ns += delta_ns
+
+    def take_completions(self):
+        done = self._completions
+        self._completions = []
+        return done
+
+    def inflight_request_ids(self):
+        return sorted(set(self._pid_to_request.values()))
+
+    # ------------------------------------------------------------------
+    # health readout
+    # ------------------------------------------------------------------
+
+    def health_signals(self):
+        """Cumulative counters for the health monitor (it diffs rounds).
+
+        A down/stalled machine reports ``responsive=False`` — the probe
+        equivalent of a timed-out health check.
+        """
+        if self.session is None or self.state != UP:
+            return {
+                "responsive": False,
+                "panics": 0,
+                "failovers": 0,
+                "slo_violations": 0,
+                "completed": self.completed,
+                "watchdog_findings": 0,
+            }
+        kernel = self.session.kernel
+        telemetry = self.session.telemetry
+        slo_violations = 0
+        if telemetry is not None and telemetry.monitor is not None:
+            slo_violations = sum(
+                telemetry.monitor.violations_by_slo.values())
+        watchdog = self.session.watchdog
+        return {
+            "responsive": True,
+            "panics": kernel.stats.contained_panics,
+            "failovers": kernel.stats.failovers,
+            "slo_violations": slo_violations,
+            "completed": self.completed,
+            "watchdog_findings": (len(watchdog.report.findings)
+                                  if watchdog is not None else 0),
+        }
+
+    def snapshot(self):
+        """Deterministic per-machine gauges for the fleet snapshot."""
+        out = {
+            "machine": self.index,
+            "state": self.state,
+            "boots": self.boots,
+            "advanced_ns": self.advanced_ns,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "inflight": len(set(self._pid_to_request.values())),
+        }
+        if self.session is not None:
+            stats = self.session.kernel.stats
+            out["now_ns"] = self.session.kernel.now
+            out["panics"] = stats.contained_panics
+            out["failovers"] = stats.failovers
+            out["sched_invocations"] = stats.sched_invocations
+        return out
+
+    def stop(self):
+        if self.session is not None:
+            self.session.stop()

@@ -1,0 +1,276 @@
+"""Rolling live upgrades across the fleet, canary first.
+
+A :class:`RollingUpgrade` drives ``UpgradeManager.upgrade_now`` (the
+paper's quiesce -> reregister_prepare -> reregister_init -> swap
+protocol) across every machine, one cluster at a time:
+
+1. **canary** — at ``at_round``, exactly one active machine gets the new
+   module.  An init failure aborts on the spot (the old module keeps
+   running; ``upgrade_now`` guarantees that) and the rollout never
+   starts.
+2. **observe** — the canary runs for ``observe_rounds`` rounds.  Any
+   contained panic, failover, or SLO-violating window on the canary —
+   or a fleet-wide p99 regression past ``p99_slo_ns`` — triggers
+   **automatic rollback**: every upgraded machine is live-downgraded to
+   a fresh instance of the original module.
+3. **roll** — on a healthy observation window the remaining machines
+   upgrade in batches of ``batch`` per round, with the same regression
+   guard watching the whole time.
+
+``mode`` selects what "the new module" is, which is how the chaos suite
+exercises the rollback paths without bespoke test scaffolding:
+
+* ``"good"`` — a fresh instance of the same scheduler (a no-op version
+  bump; the rollout should complete);
+* ``"bad-init"`` — the new module raises in ``reregister_init``: the
+  canary upgrade aborts and the machine keeps its working scheduler;
+* ``"bad-dispatch"`` — the new module initialises cleanly, then panics
+  in ``pick_next_task``: containment strikes on the canary, health sees
+  the panics, and the rollout rolls back fleet-wide.
+
+Every decision is recorded in ``events`` and the final ``verdict`` /
+``slo`` fields report what happened and whether the fleet's SLO held.
+"""
+
+from repro.core import UpgradeManager
+
+IDLE = "idle"
+OBSERVING = "observing"
+ROLLING = "rolling"
+DONE = "done"
+ROLLED_BACK = "rolled_back"
+ABORTED = "aborted"
+
+TERMINAL = (DONE, ROLLED_BACK, ABORTED)
+
+DEFAULTS = {
+    "at_round": 10,
+    "mode": "good",
+    "observe_rounds": 4,
+    "batch": 2,
+    "p99_slo_ns": 30_000_000,
+    "bad_call_after": 3,
+}
+
+
+def _make_new_scheduler(session, mode, bad_call_after):
+    """A "new version" of the machine's scheduler under ``mode``.
+
+    The instance comes from the session's own factory, so transfer-type
+    compatibility always holds; bad behaviour is layered on as
+    instance-attribute overrides (libEnoki resolves callbacks with
+    ``getattr``, so these shadow the class methods for this instance
+    only).
+    """
+    sched = session.scheduler_factory()
+    if mode == "bad-init":
+        def bad_init(extra):
+            raise RuntimeError(
+                "injected: new module rejects the transferred state")
+        sched.reregister_init = bad_init
+    elif mode == "bad-dispatch":
+        # pick_next_task fires on every scheduling decision, so the bad
+        # version strikes out fast no matter how short the request work
+        # is; containment turns the panics into strikes -> failover, and
+        # the canary's panic counter is what health-driven rollback sees.
+        counter = {"calls": 0}
+        original = sched.pick_next_task
+
+        def bad_pick(cpu, curr_pid, curr_runtime, runtimes):
+            counter["calls"] += 1
+            if counter["calls"] >= bad_call_after:
+                raise RuntimeError(
+                    "injected: upgraded module panics in pick_next_task")
+            return original(cpu, curr_pid, curr_runtime, runtimes)
+        sched.pick_next_task = bad_pick
+    elif mode != "good":
+        raise ValueError(f"unknown upgrade mode {mode!r}")
+    return sched
+
+
+class RollingUpgrade:
+    """The fleet-wide upgrade state machine; stepped once per round."""
+
+    def __init__(self, config, fleet):
+        self.config = {**DEFAULTS, **(config or {})}
+        self.fleet = fleet
+        self.state = IDLE
+        self.canary = -1
+        self.upgraded = []          # machine indices, upgrade order
+        self.rolled_back = []
+        self.observe_left = 0
+        self.baseline = {}          # canary signals at upgrade time
+        self.baseline_p99_ns = 0
+        self.events = []
+        self.verdict = ""
+        self.slo = {}
+
+    @property
+    def terminal(self):
+        return self.state in TERMINAL
+
+    def _log(self, round_index, action, machine=-1, detail=""):
+        self.events.append({
+            "round": round_index, "action": action,
+            "machine": machine, "detail": detail,
+        })
+
+    # ------------------------------------------------------------------
+    # upgrade / downgrade primitives
+    # ------------------------------------------------------------------
+
+    def _upgrade_machine(self, machine_index, mode):
+        machine = self.fleet.machines[machine_index]
+        session = machine.session
+        if session is None or session.shim is None:
+            return None
+        manager = UpgradeManager(session.kernel, session.shim)
+        new_sched = _make_new_scheduler(
+            session, mode, self.config["bad_call_after"])
+        return manager.upgrade_now(new_sched)
+
+    def _rollback_all(self, round_index, reason):
+        """Live-downgrade every upgraded machine to the original module."""
+        self._fleet_slo()       # the verdict always reports the fleet SLO
+        for machine_index in self.upgraded:
+            report = self._upgrade_machine(machine_index, "good")
+            detail = "restored"
+            if report is None:
+                detail = "machine down; will boot with original module"
+            elif report.aborted:
+                # The canary's bad module may have struck out entirely:
+                # the shim already failed over to the native fallback,
+                # which is itself a safe (degraded) configuration.
+                detail = f"failed over instead: {report.error}"
+            self.rolled_back.append(machine_index)
+            self._log(round_index, "rollback", machine_index, detail)
+        self.state = ROLLED_BACK
+        self.verdict = f"rolled back: {reason}"
+        self._log(round_index, "verdict", detail=self.verdict)
+
+    # ------------------------------------------------------------------
+    # regression guards
+    # ------------------------------------------------------------------
+
+    def _canary_regressed(self):
+        """Did the canary degrade since its upgrade?"""
+        machine = self.fleet.machines[self.canary]
+        signals = machine.health_signals()
+        if not signals["responsive"]:
+            return "canary unresponsive"
+        for key in ("panics", "failovers", "slo_violations"):
+            delta = signals[key] - self.baseline.get(key, 0)
+            if delta > 0:
+                return f"canary {key} +{delta}"
+        return None
+
+    def _fleet_slo(self):
+        """Fleet-wide SLO check over recent completions."""
+        p99 = self.fleet.router.recent_p99_ns()
+        bound = self.config["p99_slo_ns"]
+        self.slo = {
+            "metric": "request_p99_ns",
+            "value": p99,
+            "bound": bound,
+            "baseline_ns": self.baseline_p99_ns,
+            "met": p99 <= bound,
+        }
+        if p99 > bound:
+            return (f"fleet p99 {p99 / 1e6:.1f} ms over SLO "
+                    f"{bound / 1e6:.1f} ms")
+        return None
+
+    def _regression(self):
+        return self._canary_regressed() or self._fleet_slo()
+
+    # ------------------------------------------------------------------
+    # the per-round step
+    # ------------------------------------------------------------------
+
+    def step(self, round_index):
+        if self.terminal:
+            return
+        if self.state == IDLE:
+            if round_index >= self.config["at_round"]:
+                self._start_canary(round_index)
+            return
+        if self.state == OBSERVING:
+            reason = self._regression()
+            if reason:
+                self._rollback_all(round_index, reason)
+                return
+            self.observe_left -= 1
+            if self.observe_left <= 0:
+                self.state = ROLLING
+                self._log(round_index, "proceed", self.canary,
+                          "canary healthy; rolling out")
+            return
+        if self.state == ROLLING:
+            reason = self._regression()
+            if reason:
+                self._rollback_all(round_index, reason)
+                return
+            self._roll_batch(round_index)
+
+    def _start_canary(self, round_index):
+        candidates = self.fleet.health.routable()
+        if not candidates:
+            return              # no healthy machine yet; try next round
+        self.canary = candidates[0]
+        machine = self.fleet.machines[self.canary]
+        self.baseline = machine.health_signals()
+        self.baseline_p99_ns = self.fleet.router.recent_p99_ns()
+        report = self._upgrade_machine(self.canary, self.config["mode"])
+        if report is None or report.aborted:
+            error = report.error if report is not None else "machine down"
+            self.state = ABORTED
+            self.verdict = f"aborted at canary: {error}"
+            self._log(round_index, "canary-abort", self.canary, error)
+            self._log(round_index, "verdict", detail=self.verdict)
+            return
+        self.upgraded.append(self.canary)
+        self.observe_left = self.config["observe_rounds"]
+        self.state = OBSERVING
+        self._log(round_index, "canary", self.canary,
+                  f"pause {report.pause_ns} ns, "
+                  f"{report.transferred_tasks} tasks transferred")
+
+    def _roll_batch(self, round_index):
+        remaining = [m for m in self.fleet.health.routable()
+                     if m not in self.upgraded]
+        batch = remaining[:self.config["batch"]]
+        for machine_index in batch:
+            report = self._upgrade_machine(machine_index,
+                                           self.config["mode"])
+            if report is None or report.aborted:
+                error = (report.error if report is not None
+                         else "machine down")
+                self._rollback_all(
+                    round_index, f"machine {machine_index}: {error}")
+                return
+            self.upgraded.append(machine_index)
+            self._log(round_index, "upgrade", machine_index,
+                      f"pause {report.pause_ns} ns")
+        if not remaining:
+            reason = self._fleet_slo()
+            if reason:
+                self._rollback_all(round_index, reason)
+                return
+            self.state = DONE
+            self.verdict = (f"completed: {len(self.upgraded)} machines "
+                            "upgraded")
+            self._log(round_index, "verdict", detail=self.verdict)
+
+    # ------------------------------------------------------------------
+
+    def summary(self):
+        return {
+            "state": self.state,
+            "mode": self.config["mode"],
+            "canary": self.canary,
+            "upgraded": list(self.upgraded),
+            "rolled_back": list(self.rolled_back),
+            "verdict": self.verdict,
+            "slo": dict(self.slo),
+            "events": list(self.events),
+        }

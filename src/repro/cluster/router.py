@@ -1,0 +1,422 @@
+"""The cluster request router: robust by construction.
+
+Every request admitted to the fleet flows through one
+:class:`ClusterRouter`, which owns the *ledger* — the authoritative
+record of what happened to each request.  The router is where the
+fault-tolerance policies live:
+
+* **per-request deadlines and per-attempt timeouts** — an attempt that
+  does not complete within ``timeout_ns`` of dispatch is timed out and
+  retried elsewhere; a request that sits queued past ``deadline_ns``
+  without ever being dispatched is shed;
+* **bounded retries with exponential backoff + jitter** — at most
+  ``max_attempts`` budget-counted dispatches per request, the k-th retry
+  delayed by ``backoff_ns * 2^(k-1)`` plus a seed-derived jitter so
+  retry storms de-synchronise deterministically;
+* **hedged requests** — optionally (``hedge_ns > 0``), a slow attempt
+  gets a secondary dispatch on a different machine; the first completion
+  wins and the loser is counted as a duplicate, never double-completed;
+* **load shedding** — admission beyond ``max_pending`` queued requests
+  is shed with an explicit counter (never a silent drop);
+* **exactly-once accounting** — completions are deduplicated against the
+  ledger, so retries, hedges, eviction drains, and stalled machines that
+  wake up late can never complete a request twice.
+
+Terminal states are mutually exclusive by construction: a request ends
+``completed`` (exactly once), ``shed`` (never dispatched), or ``dead``
+(every budgeted attempt landed on a machine that died).  The
+:mod:`repro.verify.cluster` checker audits exactly that invariant.
+
+All randomness (machine choice, backoff jitter) comes from one seeded
+RNG, so a fleet episode replays bit-identically from its spec.
+"""
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+#: ledger states
+QUEUED = "queued"
+INFLIGHT = "inflight"
+COMPLETED = "completed"
+SHED = "shed"
+DEAD = "dead"
+
+TERMINAL_STATES = (COMPLETED, SHED, DEAD)
+
+
+@dataclass
+class Attempt:
+    """One dispatch of a request onto one machine."""
+
+    machine: int
+    dispatched_ns: int
+    timeout_at_ns: int
+    #: "try" (budget-counted), "hedge", or "drain" (free re-dispatches)
+    kind: str = "try"
+    #: still awaiting a completion from its machine
+    live: bool = True
+    timed_out: bool = False
+
+
+@dataclass
+class Request:
+    """One unit of fleet work plus its full routing history."""
+
+    id: int
+    work_ns: int
+    submitted_ns: int
+    deadline_ns: int
+    state: str = QUEUED
+    attempts: list = field(default_factory=list)
+    tries: int = 0              # budget-counted dispatches so far
+    hedged: bool = False
+    completed_ns: int = -1
+    completed_by: int = -1
+    shed_reason: str = ""
+    dead_machine: int = -1
+
+    @property
+    def dispatched(self):
+        return bool(self.attempts)
+
+    def live_attempts(self):
+        return [a for a in self.attempts if a.live]
+
+    @property
+    def latency_ns(self):
+        return self.completed_ns - self.submitted_ns
+
+
+class ClusterRouter:
+    """Routes requests across machines; owns the exactly-once ledger."""
+
+    #: salt for the router's RNG stream (distinct from workload/machine)
+    _RNG_SALT = 0x52304554
+
+    def __init__(self, config, seed=0):
+        self.config = dict(config)
+        self.rng = random.Random(seed ^ self._RNG_SALT)
+        self.ledger = {}            # id -> Request
+        self._next_id = 0
+        #: retry/admission queue: (ready_ns, seq, request_id)
+        self._pending = []
+        self._seq = 0
+        # explicit counters — "never silent drops"
+        self.admitted = 0
+        self.completed = 0
+        self.shed_queue = 0
+        self.shed_deadline = 0
+        self.lost_to_dead = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.hedges = 0
+        self.drains = 0
+        self.duplicate_completions = 0
+        self.latencies_ns = []
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def pending_count(self):
+        return len(self._pending)
+
+    def inflight_count(self, machine=None):
+        count = 0
+        for rec in self.ledger.values():
+            if rec.state != INFLIGHT:
+                continue
+            for attempt in rec.attempts:
+                if attempt.live and (machine is None
+                                     or attempt.machine == machine):
+                    count += 1
+                    break
+        return count
+
+    def admit(self, work_ns, now_ns):
+        """Admit one request; sheds immediately past the queue bound."""
+        request = Request(
+            id=self._next_id,
+            work_ns=work_ns,
+            submitted_ns=now_ns,
+            deadline_ns=now_ns + self.config["deadline_ns"],
+        )
+        self._next_id += 1
+        self.ledger[request.id] = request
+        self.admitted += 1
+        if len(self._pending) >= self.config["max_pending"]:
+            self._shed(request, "queue")
+            return request
+        self._enqueue(request, now_ns)
+        return request
+
+    def _enqueue(self, request, ready_ns):
+        self._seq += 1
+        heapq.heappush(self._pending, (ready_ns, self._seq, request.id))
+
+    def _shed(self, request, reason):
+        request.state = SHED
+        request.shed_reason = reason
+        if reason == "queue":
+            self.shed_queue += 1
+        else:
+            self.shed_deadline += 1
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _choose_machine(self, routable, inflight_by_machine, exclude=()):
+        """Power-of-two-choices by live in-flight count, seeded."""
+        candidates = [m for m in routable if m not in exclude]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        a, b = self.rng.sample(candidates, 2)
+        load_a = inflight_by_machine.get(a, 0)
+        load_b = inflight_by_machine.get(b, 0)
+        if load_a != load_b:
+            return a if load_a < load_b else b
+        return min(a, b)
+
+    def take_dispatches(self, now_ns, routable, inflight_by_machine):
+        """Pop every ready pending request and assign it a machine.
+
+        Returns ``[(request, machine_index)]``; requests past their
+        queue deadline are shed here (only never-dispatched requests can
+        be shed — once work has physically started somewhere, the ledger
+        tracks it to completion or machine death instead).  With no
+        routable machine the ready requests are re-queued one backoff
+        later rather than spinning.
+        """
+        orders = []
+        deferred = []
+        inflight = dict(inflight_by_machine)
+        while self._pending and self._pending[0][0] <= now_ns:
+            _ready, _seq, request_id = heapq.heappop(self._pending)
+            request = self.ledger[request_id]
+            if request.state in TERMINAL_STATES:
+                continue            # completed while waiting to retry
+            if now_ns > request.deadline_ns and not request.dispatched:
+                self._shed(request, "deadline")
+                continue
+            machine = self._choose_machine(routable, inflight)
+            if machine is None:
+                deferred.append(request)
+                continue
+            inflight[machine] = inflight.get(machine, 0) + 1
+            orders.append((request, machine))
+        for request in deferred:
+            self._enqueue(request,
+                          now_ns + self.config["backoff_ns"])
+        return orders
+
+    def note_dispatched(self, request, machine, now_ns, kind="try"):
+        """Record one physical dispatch (the fleet already spawned it)."""
+        if kind == "try":
+            request.tries += 1
+            if request.tries > 1:
+                self.retries += 1
+        elif kind == "hedge":
+            self.hedges += 1
+            request.hedged = True
+        else:
+            self.drains += 1
+        request.state = INFLIGHT
+        request.attempts.append(Attempt(
+            machine=machine,
+            dispatched_ns=now_ns,
+            timeout_at_ns=now_ns + self.config["timeout_ns"],
+            kind=kind,
+        ))
+
+    def _backoff_ns(self, tries):
+        """Exponential backoff for the next (tries+1)-th dispatch, with
+        deterministic seed-derived jitter."""
+        base = self.config["backoff_ns"] * (2 ** max(0, tries - 1))
+        jitter = self.config.get("backoff_jitter", 0.0)
+        if jitter:
+            base = int(base * (1.0 + jitter * (2 * self.rng.random() - 1)))
+        return max(1, base)
+
+    # ------------------------------------------------------------------
+    # completions
+    # ------------------------------------------------------------------
+
+    def on_complete(self, request_id, machine, now_ns):
+        """A machine finished a request task.  Returns True when this
+        completion won (first for its request); retries/hedges/stall
+        wake-ups that finish later are counted as duplicates."""
+        request = self.ledger[request_id]
+        for attempt in request.attempts:
+            if attempt.live and attempt.machine == machine:
+                attempt.live = False
+                break
+        if request.state == COMPLETED:
+            self.duplicate_completions += 1
+            return False
+        if request.state in (SHED, DEAD):
+            # Terminal-by-accounting but physically finished anyway
+            # (e.g. every budgeted attempt timed out on machines that
+            # later died, then one crawled home).  Count it — the
+            # invariant checker wants these visible, not absorbed.
+            self.duplicate_completions += 1
+            return False
+        request.state = COMPLETED
+        request.completed_ns = now_ns
+        request.completed_by = machine
+        self.completed += 1
+        self.latencies_ns.append(request.latency_ns)
+        return True
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def scan_timeouts(self, now_ns, dead_machines):
+        """Time out overdue attempts; schedule retries; return health
+        feedback ``{machine: timeout_count}`` for this scan."""
+        timeout_by_machine = {}
+        for request in self.ledger.values():
+            if request.state != INFLIGHT:
+                continue
+            for attempt in request.attempts:
+                if not attempt.live or attempt.timed_out:
+                    continue
+                if attempt.timeout_at_ns > now_ns:
+                    continue
+                attempt.timed_out = True
+                self.timeouts += 1
+                timeout_by_machine[attempt.machine] = \
+                    timeout_by_machine.get(attempt.machine, 0) + 1
+                if attempt.machine in dead_machines:
+                    attempt.live = False
+            self._maybe_retry(request, now_ns, dead_machines)
+        return timeout_by_machine
+
+    def machine_died(self, machine, request_ids, now_ns):
+        """A machine crashed with these requests in flight: kill its
+        attempts and retry (or account the loss to the dead machine)."""
+        for request_id in request_ids:
+            request = self.ledger.get(request_id)
+            if request is None or request.state in TERMINAL_STATES:
+                continue
+            for attempt in request.attempts:
+                if attempt.live and attempt.machine == machine:
+                    attempt.live = False
+            self._maybe_retry(request, now_ns, {machine})
+
+    def drain_machine(self, machine, now_ns):
+        """Eviction drain: every live attempt on ``machine`` is queued
+        for immediate re-dispatch on a peer (budget-free — this is
+        operator-driven re-routing, not a failure retry).  The drained
+        machine keeps running; late completions dedupe."""
+        drained = []
+        for request in self.ledger.values():
+            if request.state != INFLIGHT:
+                continue
+            for attempt in request.attempts:
+                if attempt.live and attempt.machine == machine:
+                    drained.append(request)
+                    break
+        return drained
+
+    def _maybe_retry(self, request, now_ns, dead_machines):
+        """After attempt deaths/timeouts decide: retry, wait, or give up."""
+        if request.state in TERMINAL_STATES:
+            return
+        live = request.live_attempts()
+        if any(not a.timed_out for a in live):
+            return                  # something healthy is still running it
+        if request.tries < self.config["max_attempts"]:
+            self._enqueue(request, now_ns
+                          + self._backoff_ns(request.tries))
+            return
+        if live:
+            # Budget exhausted but an attempt is still physically alive
+            # on a live (if slow) machine: let it ride to completion.
+            return
+        # Every budgeted attempt is gone and they all ended on machines
+        # that died: the loss is accounted, never silent.
+        last = request.attempts[-1] if request.attempts else None
+        request.state = DEAD
+        request.dead_machine = last.machine if last else -1
+        self.lost_to_dead += 1
+
+    # ------------------------------------------------------------------
+    # hedging
+    # ------------------------------------------------------------------
+
+    def take_hedges(self, now_ns, routable, inflight_by_machine):
+        """Requests with one slow live attempt get a secondary dispatch
+        on a different machine (when hedging is enabled)."""
+        hedge_ns = self.config.get("hedge_ns", 0)
+        if not hedge_ns:
+            return []
+        orders = []
+        inflight = dict(inflight_by_machine)
+        for request in sorted(self.ledger.values(), key=lambda r: r.id):
+            if request.state != INFLIGHT or request.hedged:
+                continue
+            live = request.live_attempts()
+            if len(live) != 1:
+                continue
+            if now_ns - live[0].dispatched_ns < hedge_ns:
+                continue
+            machine = self._choose_machine(
+                routable, inflight, exclude={live[0].machine})
+            if machine is None:
+                continue
+            inflight[machine] = inflight.get(machine, 0) + 1
+            orders.append((request, machine))
+        return orders
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+
+    def state_counts(self):
+        counts = {QUEUED: 0, INFLIGHT: 0, COMPLETED: 0, SHED: 0, DEAD: 0}
+        for request in self.ledger.values():
+            counts[request.state] += 1
+        return counts
+
+    def _percentile(self, fraction):
+        if not self.latencies_ns:
+            return 0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1,
+                    max(0, int(fraction * len(ordered))))
+        return ordered[index]
+
+    def recent_p99_ns(self, last_n=50):
+        """p99 over the most recent completions (rolling-upgrade SLO)."""
+        window = self.latencies_ns[-last_n:]
+        if not window:
+            return 0
+        ordered = sorted(window)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    def summary(self):
+        """Deterministic roll-up for bench payloads and the CLI."""
+        counts = self.state_counts()
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed_queue + self.shed_deadline,
+            "shed_queue": self.shed_queue,
+            "shed_deadline": self.shed_deadline,
+            "lost_to_dead": self.lost_to_dead,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "hedges": self.hedges,
+            "drains": self.drains,
+            "duplicate_completions": self.duplicate_completions,
+            "states": counts,
+            "latency_p50_ns": self._percentile(0.50),
+            "latency_p99_ns": self._percentile(0.99),
+            "latency_max_ns": (max(self.latencies_ns)
+                               if self.latencies_ns else 0),
+        }

@@ -96,6 +96,15 @@ class ContainmentBoundary:
         self.strikes = 0
         self.bad_responses = 0
         self.failover_report = None
+        #: re-entrancy latch: a containment strike and a watchdog
+        #: escalation can land in the same event step, and the transfer
+        #: itself (requeue -> task_new -> scheduler callback) can strike
+        #: again while the failover is still in progress.  The latch
+        #: makes every such nested/duplicate request a no-op.
+        self._engaging = False
+        #: escalations absorbed by the latch or the failed flag (visible
+        #: so tests and the watchdog can assert single-fire behaviour)
+        self.suppressed_escalations = 0
 
     # ------------------------------------------------------------------
     # entry points from the dispatch path
@@ -179,11 +188,18 @@ class ContainmentBoundary:
     def engage_failover(self, reason="requested"):
         """Fail the shim over to its fallback class (idempotent).
 
+        Idempotent in the strong sense: once a failover has completed —
+        or while one is in progress in this very event step — any further
+        call (second strike, watchdog escalation, explicit request)
+        returns the first report without touching the
+        :class:`FailoverManager` again.
+
         Returns the :class:`FailoverReport`, or None when no fallback
         class is available (the boundary then keeps degrading instead).
         """
         shim = self.shim
-        if shim.failed:
+        if shim.failed or self._engaging:
+            self.suppressed_escalations += 1
             return self.failover_report
         manager = FailoverManager(
             shim, fallback_policy=self.policy.fallback_policy
@@ -191,7 +207,11 @@ class ContainmentBoundary:
         fallback = manager.find_fallback()
         if fallback is None:
             return None
-        self.failover_report = manager.engage(fallback, reason=reason)
+        self._engaging = True
+        try:
+            self.failover_report = manager.engage(fallback, reason=reason)
+        finally:
+            self._engaging = False
         return self.failover_report
 
     # ------------------------------------------------------------------
@@ -261,6 +281,15 @@ class FailoverManager:
             raise FailoverError("shim is not attached to a kernel")
         if fallback is shim:
             raise FailoverError("cannot fail over onto the failed shim")
+        if shim.failed:
+            # A second engage on an already-failed shim would re-run the
+            # whole transfer (double-requeues, double-counted failovers).
+            # Callers that want idempotence go through the containment
+            # boundary; a direct double engage is a programming error.
+            raise FailoverError(
+                f"policy {shim.policy} already failed over; refusing to "
+                "engage twice"
+            )
 
         # 1. Quiesce: the write acquire proves no dispatch is in flight
         # (the containment boundary only runs after the read section has

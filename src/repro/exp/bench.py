@@ -115,6 +115,12 @@ def run_spec(spec):
     metrics dict (no wall-clock values)."""
     if isinstance(spec, dict):
         spec = ScenarioSpec.from_dict(spec)
+    if spec.workload == "cluster":
+        # Fleet episodes build their own N kernels; the spec's fleet
+        # parameters all live in workload_options, so the cache key
+        # (spec_hash + git rev) covers them like any other scenario.
+        from repro.cluster import run_cluster_spec
+        return run_cluster_spec(spec)
     runner = WORKLOADS.get(spec.workload)
     if runner is None:
         raise SimError(f"unknown bench workload {spec.workload!r}")

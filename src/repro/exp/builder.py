@@ -333,7 +333,10 @@ class KernelBuilder:
             spec = ScenarioSpec.from_dict(spec)
         if spec.fault_plan is not None:
             from repro.core import FaultPlan
-            session.install_faults(FaultPlan.from_dict(spec.fault_plan))
+            plan = (spec.fault_plan
+                    if isinstance(spec.fault_plan, FaultPlan)
+                    else FaultPlan.from_dict(spec.fault_plan))
+            session.install_faults(plan)
         if spec.upgrade_at_ns:
             session.schedule_upgrade(spec.upgrade_at_ns)
         if spec.telemetry_ns:

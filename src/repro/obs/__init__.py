@@ -32,6 +32,12 @@ from repro.obs.export import (
     write_chrome,
     write_ftrace,
 )
+from repro.obs.fleet import (
+    fleet_snapshot,
+    machine_gauges,
+    merge_fleet_accounting,
+    merge_fleet_wakeup_latency,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -67,8 +73,12 @@ __all__ = [
     "TelemetrySampler",
     "build_report",
     "chrome_trace",
+    "fleet_snapshot",
     "ftrace_lines",
     "latency_heatmap",
+    "machine_gauges",
+    "merge_fleet_accounting",
+    "merge_fleet_wakeup_latency",
     "merge_accounting_snapshots",
     "merge_histogram_snapshots",
     "merge_registry_snapshots",

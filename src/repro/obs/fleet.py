@@ -1,0 +1,92 @@
+"""Cluster-wide observability: merge N machines into one fleet view.
+
+Each :class:`~repro.cluster.machine.ClusterMachine` carries the full
+single-machine observability stack (inline accounting, telemetry
+windows, SLO monitor).  This module folds those per-machine views into
+one fleet snapshot using the associative merges the obs layer already
+guarantees (:func:`merge_accounting_snapshots`,
+:func:`merge_histogram_snapshots`) plus per-machine gauges — which
+machine is up, how loaded, how faulty — so ``repro cluster`` and the
+bench cache get a single deterministic payload for the whole fleet.
+"""
+
+from repro.obs.accounting import merge_accounting_snapshots
+from repro.obs.metrics import merge_histogram_snapshots
+
+
+def machine_gauges(machine):
+    """Flat per-machine gauges for tables and health dashboards."""
+    gauges = machine.snapshot()
+    session = machine.session
+    if session is not None and session.telemetry is not None:
+        telemetry = session.telemetry
+        gauges["telemetry_windows"] = (len(telemetry.windows)
+                                       + telemetry.dropped)
+        if telemetry.monitor is not None:
+            gauges["slo_violations"] = sum(
+                telemetry.monitor.violations_by_slo.values())
+            gauges["slo"] = telemetry.monitor.summary()
+    return gauges
+
+
+def merge_fleet_accounting(machines):
+    """One accounting snapshot for the whole fleet.
+
+    Machines are disjoint kernels (distinct CPUs, distinct pid spaces),
+    which is exactly the shard semantics
+    :func:`merge_accounting_snapshots` is specified for; machine indices
+    are prefixed into CPU/task rows so the merged rows stay
+    attributable.  Down machines contribute nothing — their kernels are
+    gone, which is the honest reading of a crash.
+    """
+    merged = None
+    for machine in machines:
+        session = machine.session
+        if session is None or session.telemetry is None:
+            continue
+        snap = session.telemetry.accounting.snapshot()
+        snap = dict(snap)
+        snap["cpus"] = [{**row, "machine": machine.index}
+                        for row in snap["cpus"]]
+        snap["tasks"] = [{**row, "machine": machine.index}
+                         for row in snap["tasks"]]
+        merged = (snap if merged is None
+                  else merge_accounting_snapshots(merged, snap))
+    return merged
+
+
+def merge_fleet_wakeup_latency(machines):
+    """Fleet-wide wakeup-latency histogram (bucket-exact merge)."""
+    merged = None
+    for machine in machines:
+        session = machine.session
+        if session is None or session.telemetry is None:
+            continue
+        snap = session.telemetry.accounting.wakeup_latency.snapshot()
+        merged = (snap if merged is None
+                  else merge_histogram_snapshots(merged, snap))
+    return merged
+
+
+def fleet_snapshot(fleet):
+    """The full cluster-wide observability payload.
+
+    Combines the router ledger roll-up, membership gauges, the merged
+    accounting/histogram view of every live machine, and per-machine
+    gauges.  Everything derives from virtual time and seeded state, so
+    the payload is deterministic and cacheable.
+    """
+    health = fleet.health.gauges()
+    per_machine = []
+    for machine in fleet.machines:
+        gauges = machine_gauges(machine)
+        gauges["health"] = health.get(machine.index, {})
+        per_machine.append(gauges)
+    return {
+        "cluster_ns": fleet.now_ns,
+        "rounds": fleet.rounds,
+        "router": fleet.router.summary(),
+        "accounting": merge_fleet_accounting(fleet.machines),
+        "wakeup_latency": merge_fleet_wakeup_latency(fleet.machines),
+        "per_machine": per_machine,
+    }

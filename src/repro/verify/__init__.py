@@ -12,6 +12,9 @@ The testing subsystem the rest of the reproduction is audited with:
   reproducer artifact.
 """
 
+from repro.verify.cluster import (assert_cluster_result,
+                                  check_cluster_ledger,
+                                  check_cluster_result)
 from repro.verify.fuzz import (EpisodeResult, EpisodeSpec, FuzzReport,
                                TaskSpec, episode_digest, fuzz_run,
                                generate_episode, run_episode,
@@ -31,7 +34,10 @@ __all__ = [
     "ShrinkResult",
     "TaskSpec",
     "Violation",
+    "assert_cluster_result",
     "assert_kernel_state",
+    "check_cluster_ledger",
+    "check_cluster_result",
     "check_kernel_state",
     "episode_digest",
     "fuzz_run",

@@ -1,0 +1,140 @@
+"""The cluster exactly-once invariant, audited from the router ledger.
+
+A fleet episode is correct when every admitted request reached exactly
+one terminal state, and the terminal states are honest:
+
+* **conservation** — ``admitted == completed + shed + dead``; no request
+  is stranded in ``queued``/``inflight`` after the episode ends;
+* **exactly-once** — a completed request completed exactly once; the
+  retries/hedges/drains that lost the race are accounted as
+  ``duplicate_completions``, never as extra completions;
+* **honest shedding** — a shed request was never dispatched (shedding is
+  an admission/queue decision; once work starts somewhere the ledger
+  must track it to completion or machine death);
+* **honest losses** — a dead request exhausted its full retry budget and
+  its attempts all ended on machines that actually crashed (``boots >
+  1`` or still down); "dead" is never a euphemism for "lost track of".
+
+``check_cluster_result`` audits the roll-up dict that
+:meth:`ClusterFleet.result` returns (what the bench cache and CI smoke
+job see); ``check_cluster_ledger`` audits the live ledger
+request-by-request, which the chaos tests run for the stronger
+per-request guarantees.
+"""
+
+from repro.verify.sanitizers import SanitizerError, Violation
+
+_LEDGER = "cluster-ledger"
+_ROLLUP = "cluster-rollup"
+
+
+def check_cluster_ledger(fleet):
+    """Audit a finished :class:`ClusterFleet` request-by-request."""
+    violations = []
+    router = fleet.router
+    machine_died = {m.index: (m.boots > 1 or m.state == "down")
+                    for m in fleet.machines}
+    counts = {"completed": 0, "shed": 0, "dead": 0}
+    for request in router.ledger.values():
+        state = request.state
+        if state in counts:
+            counts[state] += 1
+        else:
+            violations.append(Violation(
+                sanitizer=_LEDGER, at_ns=fleet.now_ns, pid=request.id,
+                detail=(f"request {request.id} stranded in state "
+                        f"{state!r} after the episode ended"),
+            ))
+            continue
+        if state == "shed" and request.dispatched:
+            violations.append(Violation(
+                sanitizer=_LEDGER, at_ns=fleet.now_ns, pid=request.id,
+                detail=(f"request {request.id} was shed after being "
+                        f"dispatched {len(request.attempts)} time(s) — "
+                        "shedding must be an admission decision"),
+            ))
+        if state == "completed":
+            if request.completed_by < 0 or request.completed_ns < 0:
+                violations.append(Violation(
+                    sanitizer=_LEDGER, at_ns=fleet.now_ns,
+                    pid=request.id,
+                    detail=(f"request {request.id} marked completed "
+                            "without a completing machine/time"),
+                ))
+        if state == "dead":
+            if request.tries < router.config["max_attempts"]:
+                violations.append(Violation(
+                    sanitizer=_LEDGER, at_ns=fleet.now_ns,
+                    pid=request.id,
+                    detail=(f"request {request.id} declared dead after "
+                            f"{request.tries} tries with budget "
+                            f"{router.config['max_attempts']} unspent"),
+                ))
+            guilty = {a.machine for a in request.attempts}
+            if not any(machine_died.get(m, False) for m in guilty):
+                violations.append(Violation(
+                    sanitizer=_LEDGER, at_ns=fleet.now_ns,
+                    pid=request.id,
+                    detail=(f"request {request.id} declared dead but no "
+                            f"machine it ran on ({sorted(guilty)}) ever "
+                            "crashed"),
+                ))
+    if counts["completed"] != router.completed:
+        violations.append(Violation(
+            sanitizer=_LEDGER, at_ns=fleet.now_ns,
+            detail=(f"ledger holds {counts['completed']} completed "
+                    f"requests but the router counted "
+                    f"{router.completed} completions — a request "
+                    "completed more than once"),
+        ))
+    violations.extend(check_cluster_result(fleet.result()))
+    return violations
+
+
+def check_cluster_result(result):
+    """Audit the roll-up counters (works on cached bench payloads)."""
+    violations = []
+    router = result["router"]
+    at_ns = result["cluster_ns"]
+    accounted = (router["completed"] + router["shed"]
+                 + router["lost_to_dead"])
+    if router["admitted"] != accounted:
+        violations.append(Violation(
+            sanitizer=_ROLLUP, at_ns=at_ns,
+            detail=(f"conservation broken: admitted {router['admitted']} "
+                    f"!= completed {router['completed']} + shed "
+                    f"{router['shed']} + dead {router['lost_to_dead']} "
+                    f"(= {accounted}) — "
+                    f"{router['admitted'] - accounted} request(s) "
+                    "silently dropped"),
+        ))
+    states = router["states"]
+    for open_state in ("queued", "inflight"):
+        if states.get(open_state):
+            violations.append(Violation(
+                sanitizer=_ROLLUP, at_ns=at_ns,
+                detail=(f"{states[open_state]} request(s) stranded "
+                        f"{open_state} at episode end"),
+            ))
+    if states.get("completed", 0) != router["completed"]:
+        violations.append(Violation(
+            sanitizer=_ROLLUP, at_ns=at_ns,
+            detail=(f"completed-state count {states.get('completed', 0)} "
+                    f"!= completion counter {router['completed']}"),
+        ))
+    return violations
+
+
+def assert_cluster_result(fleet_or_result):
+    """Raise :class:`SanitizerError` on any violation (CI entry point)."""
+    if isinstance(fleet_or_result, dict):
+        violations = check_cluster_result(fleet_or_result)
+    else:
+        violations = check_cluster_ledger(fleet_or_result)
+    if violations:
+        lines = "\n".join(f"  - {v.detail}" for v in violations)
+        raise SanitizerError(
+            f"cluster exactly-once invariant violated "
+            f"({len(violations)} finding(s)):\n{lines}"
+        )
+    return True

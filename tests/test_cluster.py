@@ -1,0 +1,515 @@
+"""The simulated fleet: router, health, chaos, rolling upgrades.
+
+The contract under test: a fleet episode never loses a request silently
+— every admitted request ends exactly-once in ``completed``, ``shed``
+(never dispatched), or ``dead`` (budget exhausted on machines that
+really crashed) — under every built-in fleet fault plan, at any seed,
+with deterministic replay; health-driven eviction drains and readmits;
+rolling upgrades with a bad module roll back automatically; and the
+bench cache key covers fault-plan and fleet parameters.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterFleet, run_cluster_spec
+from repro.core import EnokiSchedClass, FaultPlan, SchedulerWatchdog
+from repro.core.errors import FailoverError, FaultError
+from repro.core.faults import FaultSpec
+from repro.exp import ClusterSpec, ScenarioSpec, canonical_fault_plan
+from repro.exp.bench import derive_seed, run_spec, run_sweep
+from repro.obs.fleet import fleet_snapshot
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.wfq import EnokiWfq
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.verify.cluster import (assert_cluster_result,
+                                  check_cluster_ledger,
+                                  check_cluster_result)
+from repro.verify.sanitizers import SanitizerError
+
+POLICY = 7
+
+
+def small_spec(seed=7, machines=4, plan=None, **overrides):
+    kwargs = {
+        "machines": machines,
+        "seed": seed,
+        "requests": {"count": 100, "arrival_rounds": 25},
+        "max_rounds": 300,
+    }
+    if plan is not None:
+        kwargs["fault_plan"] = FaultPlan.fleet(plan).to_dict()
+    kwargs.update(overrides)
+    return ClusterSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# the exactly-once ledger
+# ----------------------------------------------------------------------
+
+
+class TestCleanFleet:
+    def test_all_requests_complete(self):
+        metrics = run_cluster_spec(small_spec())
+        router = metrics["router"]
+        assert router["completed"] == router["admitted"] == 100
+        assert router["lost_to_dead"] == 0
+        assert router["shed"] == 0
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_no_faults_means_no_recovery_machinery(self):
+        metrics = run_cluster_spec(small_spec())
+        router = metrics["router"]
+        assert router["retries"] == 0
+        assert router["timeouts"] == 0
+        assert router["duplicate_completions"] == 0
+        assert metrics["health"]["evictions"] == 0
+
+    def test_work_spreads_across_machines(self):
+        metrics = run_cluster_spec(small_spec())
+        dispatched = [m["dispatched"] for m in metrics["per_machine"]]
+        assert all(d > 0 for d in dispatched)
+
+    def test_simulated_ns_sums_machine_clocks(self):
+        metrics = run_cluster_spec(small_spec())
+        assert metrics["simulated_ns"] == sum(
+            m["advanced_ns"] for m in metrics["per_machine"])
+
+
+class TestChaosMatrix:
+    """Seeded failover x fault-injection matrix: zero task loss."""
+
+    @pytest.mark.parametrize("plan", ["machine-crash", "machine-stall",
+                                      "double-crash", "noisy-module"])
+    @pytest.mark.parametrize("seed", [7, 1234])
+    def test_no_task_lost(self, plan, seed):
+        machines = 8 if plan == "double-crash" else 4
+        metrics = run_cluster_spec(small_spec(seed=seed, plan=plan,
+                                              machines=machines))
+        router = metrics["router"]
+        assert metrics["invariant"]["exactly_once"], \
+            metrics["invariant"]["violations"]
+        # Reboots (or pure dispatch faults) mean every request is
+        # eventually served: dead stays zero, completion is total.
+        assert router["completed"] == router["admitted"]
+        assert router["lost_to_dead"] == 0
+
+    def test_machine_loss_accounts_every_request(self):
+        # No reboot: losses are allowed, but only as explicit, audited
+        # ``dead`` entries — never a silent drop.
+        metrics = run_cluster_spec(small_spec(plan="machine-loss"))
+        router = metrics["router"]
+        assert metrics["invariant"]["exactly_once"], \
+            metrics["invariant"]["violations"]
+        assert (router["completed"] + router["shed"]
+                + router["lost_to_dead"]) == router["admitted"]
+
+    def test_crash_retries_inflight_work(self):
+        # Multi-round requests so the crash catches work in flight.
+        metrics = run_cluster_spec(small_spec(
+            plan="machine-crash",
+            requests={"count": 60, "arrival_rounds": 10,
+                      "work_ns": 2_000_000},
+            router={"timeout_ns": 12_000_000}))
+        router = metrics["router"]
+        assert router["completed"] == router["admitted"]
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_matrix_across_shards(self, tmp_path):
+        # The same episodes through the bench fork pool: sharding and
+        # caching must not change a single counter.
+        specs = [small_spec(seed=derive_seed(7, i), plan="machine-crash")
+                 .to_scenario_spec() for i in range(3)]
+        payload = run_sweep(specs, "cluster-matrix", workers=2,
+                            cache_dir=str(tmp_path / "cache"),
+                            out_dir=str(tmp_path))
+        assert len(payload["results"]) == 3
+        for row in payload["results"]:
+            assert row["metrics"]["invariant"]["exactly_once"]
+            assert_cluster_result(row["metrics"])
+        direct = run_cluster_spec(
+            ClusterSpec.from_scenario_spec(
+                ScenarioSpec.from_dict(payload["results"][0]["spec"])))
+        assert direct == payload["results"][0]["metrics"]
+
+
+class TestDeterminism:
+    def test_identical_replay(self):
+        spec = small_spec(plan="machine-crash")
+        a = json.dumps(run_cluster_spec(spec), sort_keys=True)
+        b = json.dumps(run_cluster_spec(spec), sort_keys=True)
+        assert a == b
+
+    def test_derived_seeds_differ(self):
+        a = run_cluster_spec(small_spec(seed=derive_seed(0, 1)))
+        b = run_cluster_spec(small_spec(seed=derive_seed(0, 2)))
+        a_disp = [m["dispatched"] for m in a["per_machine"]]
+        b_disp = [m["dispatched"] for m in b["per_machine"]]
+        assert a_disp != b_disp
+
+    def test_machines_get_derived_seeds(self):
+        spec = small_spec()
+        seeds = {spec.machine_scenario(i).seed for i in range(4)}
+        assert len(seeds) == 4
+        assert spec.machine_scenario(2).seed == derive_seed(spec.seed, 2)
+
+
+# ----------------------------------------------------------------------
+# health: eviction, draining, readmission
+# ----------------------------------------------------------------------
+
+
+class TestHealth:
+    def test_crashed_machine_evicted_and_readmitted(self):
+        # Enough arrival rounds that the episode outlives the reboot
+        # (round 25) plus the probation window.
+        metrics = run_cluster_spec(small_spec(
+            plan="machine-crash",
+            requests={"count": 140, "arrival_rounds": 40}))
+        events = metrics["health"]["events"]
+        actions = [(e["machine"], e["action"]) for e in events]
+        assert (1, "evict") in actions
+        assert (1, "readmit") in actions
+        assert actions.index((1, "evict")) < actions.index((1, "readmit"))
+        assert metrics["per_machine"][1]["boots"] == 2
+
+    def test_lost_machine_stays_evicted(self):
+        metrics = run_cluster_spec(small_spec(plan="machine-loss"))
+        gauges = metrics["health"]["machines"][1]
+        assert gauges["membership"] == "evicted"
+        assert metrics["per_machine"][1]["state"] == "down"
+
+    def test_eviction_drains_to_peers(self):
+        # Long requests pinned in flight when machine 1 crashes: the
+        # drain/retry path re-routes them and they still all finish.
+        metrics = run_cluster_spec(small_spec(
+            plan="machine-crash",
+            requests={"count": 40, "arrival_rounds": 4,
+                      "work_ns": 3_000_000},
+            router={"timeout_ns": 20_000_000, "max_attempts": 6}))
+        assert metrics["router"]["completed"] == 40
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_stall_recovers_with_dedup(self):
+        # A stalled machine's requests time out and retry elsewhere;
+        # when the stall lifts its copies finish too — the ledger must
+        # count those as duplicates, not double completions.
+        metrics = run_cluster_spec(small_spec(
+            plan="machine-stall",
+            requests={"count": 80, "arrival_rounds": 10,
+                      "work_ns": 2_000_000}))
+        router = metrics["router"]
+        assert router["completed"] == router["admitted"]
+        assert metrics["invariant"]["exactly_once"]
+
+
+class TestRouterPolicies:
+    def test_queue_shedding_is_explicit_and_never_dispatched(self):
+        metrics = run_cluster_spec(small_spec(
+            machines=2,
+            requests={"count": 300, "arrival_rounds": 2},
+            router={"max_pending": 32}))
+        router = metrics["router"]
+        assert router["shed_queue"] > 0
+        assert (router["completed"] + router["shed"]
+                == router["admitted"])
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_hedging_duplicates_are_deduped(self):
+        metrics = run_cluster_spec(small_spec(
+            plan="machine-stall",
+            requests={"count": 60, "arrival_rounds": 10,
+                      "work_ns": 2_000_000},
+            router={"hedge_ns": 3_000_000, "timeout_ns": 30_000_000}))
+        router = metrics["router"]
+        assert router["hedges"] > 0
+        assert router["completed"] == router["admitted"]
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_retry_backoff_is_seeded(self):
+        spec = small_spec(plan="machine-crash",
+                          requests={"count": 60, "arrival_rounds": 10,
+                                    "work_ns": 2_000_000})
+        a = run_cluster_spec(spec)["router"]
+        b = run_cluster_spec(spec)["router"]
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# rolling upgrades
+# ----------------------------------------------------------------------
+
+
+class TestRollingUpgrade:
+    def upgrade_spec(self, mode, **kw):
+        return small_spec(
+            requests={"count": 150, "arrival_rounds": 50},
+            upgrade={"at_round": 10, "mode": mode,
+                     "observe_rounds": 4, "batch": 2, **kw})
+
+    def test_good_upgrade_rolls_fleet_wide(self):
+        metrics = run_cluster_spec(self.upgrade_spec("good"))
+        rolling = metrics["rolling_upgrade"]
+        assert rolling["state"] == "done"
+        assert sorted(rolling["upgraded"]) == [0, 1, 2, 3]
+        assert rolling["slo"]["met"]
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_canary_goes_first(self):
+        metrics = run_cluster_spec(self.upgrade_spec("good"))
+        events = metrics["rolling_upgrade"]["events"]
+        assert events[0]["action"] == "canary"
+
+    def test_bad_init_aborts_at_canary(self):
+        metrics = run_cluster_spec(self.upgrade_spec("bad-init"))
+        rolling = metrics["rolling_upgrade"]
+        assert rolling["state"] == "aborted"
+        assert "canary" in rolling["verdict"]
+        assert rolling["upgraded"] == []
+        # The old module kept running: nothing was lost.
+        assert metrics["router"]["completed"] == 150
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_bad_dispatch_rolls_back_automatically(self):
+        metrics = run_cluster_spec(self.upgrade_spec("bad-dispatch"))
+        rolling = metrics["rolling_upgrade"]
+        assert rolling["state"] == "rolled_back"
+        assert "rolled back" in rolling["verdict"]
+        assert rolling["rolled_back"] == rolling["upgraded"]
+        # The bad module's panics were contained and the fleet still
+        # served every request.
+        assert metrics["router"]["completed"] == 150
+        assert metrics["invariant"]["exactly_once"]
+
+    def test_rollback_reports_fleet_slo_verdict(self):
+        metrics = run_cluster_spec(self.upgrade_spec("bad-dispatch"))
+        rolling = metrics["rolling_upgrade"]
+        canary = rolling["canary"]
+        assert metrics["per_machine"][canary]["panics"] > 0
+        slo = rolling["slo"]
+        assert slo["metric"] == "request_p99_ns"
+        assert "met" in slo
+
+
+# ----------------------------------------------------------------------
+# the invariant checker itself
+# ----------------------------------------------------------------------
+
+
+class TestInvariantChecker:
+    def finished_fleet(self):
+        fleet = ClusterFleet(small_spec())
+        fleet.run()
+        return fleet
+
+    def test_clean_fleet_passes(self):
+        fleet = self.finished_fleet()
+        assert check_cluster_ledger(fleet) == []
+        assert assert_cluster_result(fleet)
+
+    def test_detects_silent_drop(self):
+        fleet = self.finished_fleet()
+        result = fleet.result()
+        result["router"]["admitted"] += 1
+        violations = check_cluster_result(result)
+        assert any("silently dropped" in v.detail for v in violations)
+        with pytest.raises(SanitizerError):
+            assert_cluster_result(result)
+
+    def test_detects_dishonest_shed(self):
+        fleet = self.finished_fleet()
+        victim = next(iter(fleet.router.ledger.values()))
+        assert victim.dispatched
+        victim.state = "shed"
+        victim.shed_reason = "tampered"
+        violations = check_cluster_ledger(fleet)
+        assert any("admission decision" in v.detail for v in violations)
+
+    def test_detects_dishonest_death(self):
+        fleet = self.finished_fleet()
+        victim = next(iter(fleet.router.ledger.values()))
+        victim.state = "dead"
+        violations = check_cluster_ledger(fleet)
+        assert any("dead" in v.detail for v in violations)
+
+    def test_detects_stranded_requests(self):
+        fleet = self.finished_fleet()
+        victim = next(iter(fleet.router.ledger.values()))
+        victim.state = "inflight"
+        violations = check_cluster_ledger(fleet)
+        assert any("stranded" in v.detail for v in violations)
+
+
+# ----------------------------------------------------------------------
+# satellite: bench cache keys cover fault-plan and fleet parameters
+# ----------------------------------------------------------------------
+
+
+class TestCacheKeys:
+    def test_fault_plan_changes_hash(self):
+        clean = small_spec()
+        faulted = small_spec(plan="machine-crash")
+        assert clean.spec_hash() != faulted.spec_hash()
+
+    def test_fleet_params_change_hash(self):
+        base = small_spec()
+        assert base.spec_hash() != small_spec(machines=8).spec_hash()
+        assert base.spec_hash() != small_spec(
+            router={"timeout_ns": 9_000_000}).spec_hash()
+        assert base.spec_hash() != small_spec(
+            health={"evict_strikes": 5}).spec_hash()
+        assert base.spec_hash() != small_spec(
+            upgrade={"at_round": 3}).spec_hash()
+        assert base.spec_hash() != small_spec(
+            requests={"count": 101, "arrival_rounds": 25}).spec_hash()
+
+    def test_plan_object_and_sparse_dict_hash_identically(self):
+        plan = FaultPlan.fleet("machine-crash")
+        sparse = {"name": plan.name, "seed": plan.seed,
+                  "description": plan.description,
+                  "specs": [{k: v for k, v in s.to_dict().items()
+                             if k in ("kind", "machine", "at_ns",
+                                      "duration_ns")}
+                            for s in plan.specs]}
+        as_object = ScenarioSpec(name="x", workload="pipe",
+                                 fault_plan=plan)
+        as_sparse = ScenarioSpec(name="x", workload="pipe",
+                                 fault_plan=sparse)
+        assert as_object.spec_hash() == as_sparse.spec_hash()
+
+    def test_canonical_fault_plan_round_trips(self):
+        plan = FaultPlan.fleet("double-crash")
+        canonical = canonical_fault_plan(plan)
+        assert canonical == canonical_fault_plan(canonical)
+        assert canonical_fault_plan(None) is None
+
+    def test_cluster_run_spec_dispatch(self):
+        metrics = run_spec(small_spec().to_scenario_spec())
+        assert metrics["router"]["completed"] == 100
+        assert metrics["invariant"]["exactly_once"]
+
+
+# ----------------------------------------------------------------------
+# satellite: machine-level fault kinds
+# ----------------------------------------------------------------------
+
+
+class TestMachineFaultSpecs:
+    def test_machine_crash_needs_target(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind="machine_crash", at_ns=1).validate()
+
+    def test_stall_needs_duration(self):
+        with pytest.raises(FaultError):
+            FaultSpec(kind="machine_stall", machine=0,
+                      at_ns=1).validate()
+
+    def test_for_machine_slices_dispatch_faults(self):
+        plan = FaultPlan.fleet("noisy-module")
+        assert plan.for_machine(0) is None        # targeted at machine 1
+        sub = plan.for_machine(1)
+        assert sub is not None
+        assert all(s.kind not in ("machine_crash", "machine_stall")
+                   for s in sub.specs)
+        assert sub.seed != FaultPlan.fleet("noisy-module").for_machine(
+            2).seed if plan.for_machine(2) else True
+
+    def test_machine_specs_partition(self):
+        plan = FaultPlan.fleet("double-crash")
+        assert len(plan.machine_specs()) == 2
+        assert all(s.kind == "machine_crash"
+                   for s in plan.machine_specs())
+
+    def test_unknown_fleet_plan_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.fleet("no-such-plan")
+
+
+# ----------------------------------------------------------------------
+# satellite: idempotent watchdog/containment escalation
+# ----------------------------------------------------------------------
+
+
+def _contained_stack(nr_cpus=2):
+    kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+    shim = EnokiSchedClass.register(
+        kernel, EnokiWfq(nr_cpus, POLICY), POLICY, priority=10)
+    shim.configure_containment(fallback_policy=0)
+    return kernel, shim
+
+
+class TestIdempotentEscalation:
+    def test_double_engage_is_single_failover(self):
+        kernel, shim = _contained_stack()
+        boundary = shim.containment
+        first = boundary.engage_failover(reason="strike")
+        second = boundary.engage_failover(reason="watchdog:lost_task")
+        assert first is second
+        assert kernel.stats.failovers == 1
+        assert boundary.suppressed_escalations == 1
+
+    def test_manager_refuses_failed_shim(self):
+        from repro.core.failover import FailoverManager
+        kernel, shim = _contained_stack()
+        shim.containment.engage_failover(reason="strike")
+        manager = FailoverManager(shim, fallback_policy=0)
+        with pytest.raises(FailoverError):
+            manager.engage(manager.find_fallback(), reason="again")
+
+    def test_watchdog_escalates_once(self):
+        from repro.core.watchdog import Finding
+        kernel, shim = _contained_stack()
+        watchdog = SchedulerWatchdog(kernel, POLICY,
+                                     escalate=shim.containment,
+                                     escalate_kinds=("lost_task",))
+        finding = Finding(kind="lost_task", at_ns=0, pid=1, cpu=0)
+        watchdog._escalate(finding)
+        watchdog._escalate(finding)
+        assert kernel.stats.failovers == 1
+        assert watchdog.escalations_suppressed == 1
+
+    def test_watchdog_suppresses_after_same_step_strike(self):
+        # A containment strike already failed the shim over when the
+        # watchdog scan lands in the same event step: the watchdog must
+        # record the suppression instead of double-firing.
+        from repro.core.watchdog import Finding
+        kernel, shim = _contained_stack()
+        watchdog = SchedulerWatchdog(kernel, POLICY,
+                                     escalate=shim.containment,
+                                     escalate_kinds=("lost_task",))
+        shim.containment.engage_failover(reason="strike")
+        assert kernel.stats.failovers == 1
+        watchdog._escalate(Finding(kind="lost_task", at_ns=0, pid=1,
+                                   cpu=0))
+        assert kernel.stats.failovers == 1
+        assert watchdog.escalations_suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# cluster-wide observability
+# ----------------------------------------------------------------------
+
+
+class TestFleetObs:
+    def test_snapshot_merges_machines(self):
+        fleet = ClusterFleet(small_spec())
+        fleet.run()
+        snap = fleet_snapshot(fleet)
+        assert snap["router"]["completed"] == 100
+        assert len(snap["per_machine"]) == 4
+        machines = {row["machine"] for row in snap["accounting"]["cpus"]}
+        assert machines == {0, 1, 2, 3}
+        assert snap["wakeup_latency"]["count"] > 0
+
+    def test_per_machine_gauges_carry_health(self):
+        fleet = ClusterFleet(small_spec(
+            plan="machine-crash",
+            requests={"count": 140, "arrival_rounds": 40}))
+        fleet.run()
+        snap = fleet_snapshot(fleet)
+        crashed = snap["per_machine"][1]
+        assert crashed["boots"] == 2
+        assert crashed["health"]["evictions"] == 1
+        assert crashed["health"]["readmissions"] == 1
