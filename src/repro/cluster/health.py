@@ -67,13 +67,20 @@ class HealthMonitor:
         """Score one round of signals against the previous round."""
         if not signals["responsive"]:
             health.unresponsive_rounds += 1
+            # A crashed machine reboots with fresh kernel counters; the
+            # pre-crash baseline would make the first responsive round's
+            # deltas negative and hide real strikes — drop it now.
+            health.last_signals = {}
             return self.config["timeout_strikes"], "unresponsive"
         health.unresponsive_rounds = 0
         prev = health.last_signals
         strikes = 0
         reasons = []
         for key in ("panics", "failovers", "slo_violations"):
-            delta = signals[key] - prev.get(key, 0)
+            baseline = prev.get(key, 0)
+            if signals[key] < baseline:
+                baseline = 0    # counter reset (reboot between probes)
+            delta = signals[key] - baseline
             if delta > 0:
                 strikes += 1
                 reasons.append(f"{key}+{delta}")

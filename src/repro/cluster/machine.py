@@ -88,7 +88,13 @@ class ClusterMachine:
         """Freeze the machine: its clock stops, in-flight work makes no
         progress, and nothing completes until the stall lifts.  Unlike a
         crash, state survives — late completions surface afterwards (and
-        the router dedupes the ones it already retried elsewhere)."""
+        the router dedupes the ones it already retried elsewhere).
+
+        A crashed machine cannot stall — there is no kernel left to
+        freeze — so on a DOWN machine this is a no-op (the stall window
+        of an overlapping fault plan is simply absorbed by the outage)."""
+        if self.state == DOWN or self.session is None:
+            return
         self.state = STALLED
         self.stall_remaining_ns = duration_ns
 
@@ -134,7 +140,10 @@ class ClusterMachine:
         if self.state == STALLED:
             self.stall_remaining_ns -= delta_ns
             if self.stall_remaining_ns <= 0:
-                self.state = UP
+                # Only a machine that still has a kernel can wake up;
+                # anything else (e.g. state corrupted by an overlapping
+                # fault) is physically down.
+                self.state = UP if self.session is not None else DOWN
                 self.stall_remaining_ns = 0
             return
         if self.session.telemetry is not None:

@@ -213,7 +213,9 @@ class RollingUpgrade:
             self._roll_batch(round_index)
 
     def _start_canary(self, round_index):
-        candidates = self.fleet.health.routable()
+        # Health-admitted AND physically up — membership alone can lag a
+        # crash by a round, and a down machine cannot take an upgrade.
+        candidates = self.fleet._routable()
         if not candidates:
             return              # no healthy machine yet; try next round
         self.canary = candidates[0]
@@ -236,17 +238,26 @@ class RollingUpgrade:
                   f"{report.transferred_tasks} tasks transferred")
 
     def _roll_batch(self, round_index):
-        remaining = [m for m in self.fleet.health.routable()
+        remaining = [m for m in self.fleet._routable()
                      if m not in self.upgraded]
         batch = remaining[:self.config["batch"]]
         for machine_index in batch:
             report = self._upgrade_machine(machine_index,
                                            self.config["mode"])
-            if report is None or report.aborted:
-                error = (report.error if report is not None
-                         else "machine down")
+            if report is None:
+                # The machine went down under us (a crash this round
+                # that eviction has not caught up with yet).  That is
+                # the fleet's problem, not the new module's: defer the
+                # machine — once it reboots and is readmitted a later
+                # batch picks it up; if it stays dead, eviction removes
+                # it from the remaining set.  Never a fleet rollback.
+                self._log(round_index, "defer", machine_index,
+                          "machine down; deferred")
+                continue
+            if report.aborted:
                 self._rollback_all(
-                    round_index, f"machine {machine_index}: {error}")
+                    round_index,
+                    f"machine {machine_index}: {report.error}")
                 return
             self.upgraded.append(machine_index)
             self._log(round_index, "upgrade", machine_index,

@@ -70,6 +70,9 @@ class Request:
     state: str = QUEUED
     attempts: list = field(default_factory=list)
     tries: int = 0              # budget-counted dispatches so far
+    #: an entry for this request sits in the retry/admission queue —
+    #: at most one, so per-round retry scans cannot pile up duplicates
+    pending: bool = False
     hedged: bool = False
     completed_ns: int = -1
     completed_by: int = -1
@@ -152,6 +155,9 @@ class ClusterRouter:
         return request
 
     def _enqueue(self, request, ready_ns):
+        if request.pending:
+            return              # one queue entry per request, ever
+        request.pending = True
         self._seq += 1
         heapq.heappush(self._pending, (ready_ns, self._seq, request.id))
 
@@ -197,8 +203,16 @@ class ClusterRouter:
         while self._pending and self._pending[0][0] <= now_ns:
             _ready, _seq, request_id = heapq.heappop(self._pending)
             request = self.ledger[request_id]
+            request.pending = False
             if request.state in TERMINAL_STATES:
                 continue            # completed while waiting to retry
+            if any(a.live and not a.timed_out for a in request.attempts):
+                # A fresh attempt (drain/hedge) started while this retry
+                # waited out its backoff: drop the stale entry — the
+                # timeout scan re-schedules if that attempt stalls too.
+                continue
+            if request.tries >= self.config["max_attempts"]:
+                continue            # budget spent; never dispatch past it
             if now_ns > request.deadline_ns and not request.dispatched:
                 self._shed(request, "deadline")
                 continue

@@ -14,6 +14,10 @@ import json
 import pytest
 
 from repro.cluster import ClusterFleet, run_cluster_spec
+from repro.cluster.health import HealthMonitor
+from repro.cluster.machine import ClusterMachine
+from repro.cluster.rolling import ROLLING, RollingUpgrade
+from repro.cluster.router import ClusterRouter
 from repro.core import EnokiSchedClass, FaultPlan, SchedulerWatchdog
 from repro.core.errors import FailoverError, FaultError
 from repro.core.faults import FaultSpec
@@ -204,6 +208,127 @@ class TestHealth:
         assert metrics["invariant"]["exactly_once"]
 
 
+class TestStallOnDownMachine:
+    """A crashed machine cannot stall back to life.
+
+    Regression: ``stall()`` on a DOWN machine used to set STALLED, and
+    when the stall elapsed ``advance()`` flipped it to UP with no
+    kernel — the next round crashed the whole episode on
+    ``None.session``.
+    """
+
+    def test_stall_on_down_machine_is_absorbed(self):
+        machine = ClusterMachine(small_spec(), 0)
+        machine.boot()
+        machine.crash()
+        machine.stall(2_000_000)
+        assert machine.state == "down"
+        for _ in range(5):
+            machine.advance(1_000_000)      # must never touch a session
+        assert machine.state == "down"
+        assert not machine.health_signals()["responsive"]
+        machine.reboot()
+        assert machine.up
+
+    def test_overlapping_crash_and_stall_plan_completes(self):
+        # A fault plan that stalls machine 1 inside its crash window:
+        # the stall is absorbed by the outage and the episode still
+        # serves every request exactly once.
+        plan = FaultPlan(
+            name="crash-stall-overlap",
+            specs=(
+                FaultSpec(kind="machine_crash", machine=1,
+                          at_ns=5_000_000, duration_ns=25_000_000),
+                FaultSpec(kind="machine_stall", machine=1,
+                          at_ns=10_000_000, duration_ns=5_000_000),
+            ))
+        metrics = run_cluster_spec(small_spec(
+            fault_plan=plan.to_dict(),
+            requests={"count": 100, "arrival_rounds": 40}))
+        router = metrics["router"]
+        assert metrics["invariant"]["exactly_once"], \
+            metrics["invariant"]["violations"]
+        assert router["completed"] == router["admitted"]
+        assert metrics["per_machine"][1]["boots"] == 2
+
+
+class TestRollingSkipsDownMachines:
+    """Rollouts defer crashed-but-unevicted machines, never roll back.
+
+    Regression: batch selection used health membership alone; a machine
+    that crashed this round (eviction lags a probe round) got picked,
+    the upgrade returned None, and a healthy rollout was spuriously
+    rolled back fleet-wide with "machine down".
+    """
+
+    def test_down_machine_is_deferred_not_rolled_back(self):
+        fleet = ClusterFleet(small_spec())
+        fleet.boot()
+        rolling = RollingUpgrade({"mode": "good", "batch": 8}, fleet)
+        rolling.canary = 0
+        rolling.upgraded = [0]
+        rolling.state = ROLLING
+        fleet.machines[2].crash()
+        assert 2 in fleet.health.routable()     # eviction has not landed
+        rolling._roll_batch(0)
+        assert rolling.state != "rolled_back"
+        assert 2 not in rolling.upgraded
+        assert sorted(rolling.upgraded) == [0, 1, 3]
+        fleet.machines[0].stop()
+        fleet.machines[1].stop()
+        fleet.machines[3].stop()
+
+    def test_canary_selection_skips_down_machine(self):
+        fleet = ClusterFleet(small_spec())
+        fleet.boot()
+        rolling = RollingUpgrade({"mode": "good"}, fleet)
+        fleet.machines[0].crash()
+        assert 0 in fleet.health.routable()
+        rolling._start_canary(0)
+        assert rolling.canary == 1
+        assert rolling.state == "observing"
+        for machine in fleet.machines:
+            machine.stop()
+
+
+class TestHealthBaselineReset:
+    """Post-reboot counter resets must not hide strikes.
+
+    Regression: after a crashed machine rebooted, kernel counters reset
+    to 0 while ``last_signals`` kept the pre-crash cumulative values —
+    the first responsive round diffed negative, making real panics and
+    failovers invisible to the strike logic.
+    """
+
+    CONFIG = {"window_rounds": 8, "evict_strikes": 99,
+              "readmit_rounds": 2, "timeout_strikes": 3}
+
+    @staticmethod
+    def signals(**overrides):
+        base = {"responsive": True, "panics": 0, "failovers": 0,
+                "slo_violations": 0, "completed": 0,
+                "watchdog_findings": 0}
+        base.update(overrides)
+        return base
+
+    def test_unresponsive_round_clears_baseline(self):
+        monitor = HealthMonitor(self.CONFIG, 1)
+        monitor.observe(0, 0, self.signals(panics=5))
+        monitor.observe(1, 0, self.signals(responsive=False))
+        assert monitor.health[0].last_signals == {}
+        # Post-reboot: counters reset, 2 fresh panics — must strike.
+        monitor.observe(2, 0, self.signals(panics=2))
+        assert monitor.health[0].strike_history[-1] == 1
+
+    def test_counter_reset_between_probes_is_clamped(self):
+        # Crash + instant reboot inside one round never shows an
+        # unresponsive probe; the clamp still catches the reset.
+        monitor = HealthMonitor(self.CONFIG, 1)
+        monitor.observe(0, 0, self.signals(failovers=5))
+        monitor.observe(1, 0, self.signals(failovers=2))
+        assert monitor.health[0].strike_history[-1] == 1
+
+
 class TestRouterPolicies:
     def test_queue_shedding_is_explicit_and_never_dispatched(self):
         metrics = run_cluster_spec(small_spec(
@@ -234,6 +359,73 @@ class TestRouterPolicies:
         a = run_cluster_spec(spec)["router"]
         b = run_cluster_spec(spec)["router"]
         assert a == b
+
+
+class TestRetryBudget:
+    """The retry budget is a hard bound, even while backoff elapses.
+
+    Regression: the per-round timeout scan used to re-enqueue a retry
+    for the same request every round of its backoff window, and the
+    dispatcher then dispatched every stale entry — driving ``tries``
+    past ``max_attempts`` with concurrent duplicate attempts.
+    """
+
+    ROUTER = {"timeout_ns": 4_000_000, "deadline_ns": 1_000_000_000,
+              "max_attempts": 4, "backoff_ns": 500_000,
+              "backoff_jitter": 0.0, "hedge_ns": 0, "max_pending": 256}
+
+    def drive(self, router, rounds, routable=(0, 1), round_ns=1_000_000):
+        now = 0
+        for _ in range(rounds):
+            for request, machine in router.take_dispatches(
+                    now, list(routable), {}):
+                router.note_dispatched(request, machine, now)
+            now += round_ns
+            router.scan_timeouts(now, set())
+        return now
+
+    def test_never_completing_machine_respects_budget(self):
+        # Machines accept work, never complete it, never die: every
+        # attempt times out, and the request must end up riding its
+        # last budgeted attempt — never spawning a fifth.
+        router = ClusterRouter(self.ROUTER, seed=1)
+        router.admit(1_000_000, 0)
+        self.drive(router, rounds=50)
+        request = router.ledger[0]
+        tries = [a for a in request.attempts if a.kind == "try"]
+        assert request.tries == self.ROUTER["max_attempts"]
+        assert len(tries) == self.ROUTER["max_attempts"]
+        assert router.retries == self.ROUTER["max_attempts"] - 1
+        assert router.pending_count() == 0
+
+    def test_backoff_window_never_accumulates_duplicates(self):
+        # A long backoff spans many timeout scans; only one queue entry
+        # may exist for the request at any time.
+        router = ClusterRouter({**self.ROUTER,
+                                "backoff_ns": 10_000_000}, seed=1)
+        router.admit(1_000_000, 0)
+        for request, machine in router.take_dispatches(0, [0], {}):
+            router.note_dispatched(request, machine, 0)
+        now = 0
+        for _ in range(8):
+            now += 1_000_000
+            router.scan_timeouts(now, set())
+        assert router.pending_count() == 1
+
+    def test_stale_retry_dropped_when_drain_already_rerouted(self):
+        # A retry waiting out its backoff is superseded by an eviction
+        # drain that re-dispatched the request: the stale entry must
+        # not produce a duplicate budget-counted attempt.
+        router = ClusterRouter({**self.ROUTER,
+                                "backoff_ns": 10_000_000}, seed=1)
+        request = router.admit(1_000_000, 0)
+        for req, machine in router.take_dispatches(0, [0], {}):
+            router.note_dispatched(req, machine, 0)
+        router.scan_timeouts(5_000_000, set())   # retry queued for 15ms
+        router.note_dispatched(request, 1, 6_000_000, kind="drain")
+        orders = router.take_dispatches(20_000_000, [0, 1], {})
+        assert orders == []
+        assert request.tries == 1
 
 
 # ----------------------------------------------------------------------
