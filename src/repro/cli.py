@@ -95,6 +95,44 @@ def cmd_rocksdb(args):
     return 0
 
 
+def cmd_faas(args):
+    from repro.exp.bench import FAAS_BASE_OPTIONS, FAAS_SLOS
+    from repro.workloads.faas import run_faas
+
+    rows = []
+    slo_reports = []
+    for name in ("CFS", "Enoki-Serverless"):
+        builder = (KernelBuilder(seed=args.seed)
+                   .with_native("cfs", policy=0, priority=5))
+        if name != "CFS":
+            builder.with_enoki("serverless", policy=POLICY, priority=10)
+        session = builder.build()
+        session.attach_telemetry(msecs(10), slos=FAAS_SLOS)
+        result = run_faas(session.kernel, session.policy,
+                          offered_rps=args.load,
+                          duration_ns=msecs(args.duration_ms),
+                          warmup_ns=msecs(50), seed=args.seed,
+                          scheduler_name=name, **FAAS_BASE_OPTIONS)
+        session.stop()
+        monitor = session.telemetry.monitor
+        if monitor is not None:
+            slo_reports.append((name, monitor.summary()))
+        rows.append([name, result.p50_us, result.p99_us, result.p999_us,
+                     f"{result.throughput_rps:,.0f}",
+                     result.cold_starts, result.completed])
+    print(render_table(
+        f"FaaS trace at {args.load} invocations/s "
+        f"(short-invocation latency, us)",
+        ["scheduler", "p50", "p99", "p99.9", "rps", "cold", "completed"],
+        rows))
+    for name, summary in slo_reports:
+        for target in summary["targets"]:
+            state = ("met" if not target["violations"]
+                     else f"{target['violations']} violation(s)")
+            print(f"SLO[{name}] {target['name']}: {state}")
+    return 0
+
+
 def cmd_upgrade(args):
     from repro.workloads.schbench import run_schbench
 
@@ -466,8 +504,8 @@ def _metric_headline(metrics):
 
 def cmd_bench(args):
     from repro.exp.bench import (compare_simperf, default_specs,
-                                 run_overhead_check, run_simperf,
-                                 run_sweep, smoke_specs)
+                                 faas_specs, run_overhead_check,
+                                 run_simperf, run_sweep, smoke_specs)
 
     if args.overhead:
         ok, lines = run_overhead_check(threshold=args.threshold,
@@ -499,9 +537,15 @@ def cmd_bench(args):
         print(f"appended to {args.simperf_out}")
         return 0
 
-    specs = (smoke_specs(args.seed) if args.smoke
-             else default_specs(args.seed))
-    name = args.name if args.name else ("smoke" if args.smoke else "sweep")
+    if args.faas:
+        specs = faas_specs(args.seed,
+                           headline_invocations=args.faas_invocations)
+    elif args.smoke:
+        specs = smoke_specs(args.seed)
+    else:
+        specs = default_specs(args.seed)
+    name = args.name if args.name else (
+        "smoke" if args.smoke else "faas" if args.faas else "sweep")
     payload = run_sweep(specs, name, workers=args.workers,
                         cache_dir=args.cache_dir, out_dir=args.out_dir,
                         use_cache=not args.no_cache)
@@ -640,6 +684,8 @@ EXPERIMENTS = {
     "pipe": (cmd_pipe, "Table 3 quick run: sched-pipe CFS vs Enoki WFQ"),
     "schbench": (cmd_schbench, "Table 4 quick run: schbench latencies"),
     "rocksdb": (cmd_rocksdb, "Figure 2 quick run: dispersed load"),
+    "faas": (cmd_faas, "serverless/FaaS trace quick run: CFS vs the "
+                       "Enoki serverless scheduler + SLO verdicts"),
     "upgrade": (cmd_upgrade, "Section 5.7 quick run: live upgrade pause"),
     "fairness": (cmd_fairness, "Appendix A.1 quick run: fair sharing"),
     "trace": (cmd_trace, "capture a full-stack trace and export it "
@@ -676,6 +722,12 @@ def main(argv=None):
     p = sub.add_parser("rocksdb", help=EXPERIMENTS["rocksdb"][1])
     p.add_argument("--load", type=int, default=40_000)
     p.add_argument("--duration-ms", type=int, default=200)
+
+    p = sub.add_parser("faas", help=EXPERIMENTS["faas"][1])
+    p.add_argument("--load", type=int, default=18_000,
+                   help="offered invocations per second")
+    p.add_argument("--duration-ms", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("upgrade", help=EXPERIMENTS["upgrade"][1])
     sub.add_parser("fairness", help=EXPERIMENTS["fairness"][1])
@@ -731,7 +783,8 @@ def main(argv=None):
     p = sub.add_parser("fuzz", help=EXPERIMENTS["fuzz"][1])
     p.add_argument("--episodes", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--sched", choices=["wfq", "fifo", "eevdf"],
+    p.add_argument("--sched",
+                   choices=["wfq", "fifo", "eevdf", "serverless"],
                    help="pin every episode to one scheduler")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary on stdout")
@@ -783,6 +836,12 @@ def main(argv=None):
     p = sub.add_parser("bench", help=EXPERIMENTS["bench"][1])
     p.add_argument("--smoke", action="store_true",
                    help="tiny CI-sized sweep instead of the full grid")
+    p.add_argument("--faas", action="store_true",
+                   help="FaaS table: serverless vs the field under "
+                        "sweeping load + a production-scale headline "
+                        "pair (writes BENCH_faas.json)")
+    p.add_argument("--faas-invocations", type=int, default=1_000_000,
+                   help="invocation count of the --faas headline episode")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size; results are identical at "
                         "any worker count")

@@ -643,8 +643,13 @@ class EnokiSchedClass(SchedClass):
     def wakeup_preempt(self, cpu, task):
         # Enoki schedulers re-evaluate at the next tick (or via their own
         # resched timers); matches the paper's description of CFS-style
-        # wakeup preemption happening "when a system timer ticks".
-        return "tick"
+        # wakeup preemption happening "when a system timer ticks".  A
+        # module that manages preemption entirely through its own resched
+        # timers (e.g. run-to-completion policies) opts out by setting
+        # ``WAKEUP_PREEMPT = None`` — the scheduler, not the kernel,
+        # decides when a wakeup interrupts the running task.
+        scheduler = self.lib.scheduler if self.lib is not None else None
+        return getattr(scheduler, "WAKEUP_PREEMPT", "tick")
 
     # ------------------------------------------------------------------
     # timers (EnokiEnv backend)

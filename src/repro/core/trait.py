@@ -35,6 +35,12 @@ class EnokiScheduler:
     #: incoming version must declare the same type (section 3.2).
     TRANSFER_TYPE = None
 
+    #: what a wakeup onto a busy CPU does to the running task: ``"tick"``
+    #: (default) marks the CPU for rescheduling at the next timer tick,
+    #: ``"now"`` preempts immediately, ``None`` leaves preemption entirely
+    #: to the module's own resched timers (run-to-completion policies).
+    WAKEUP_PREEMPT = "tick"
+
     def __init__(self):
         self.env = None
         self._user_queues = {}

@@ -102,12 +102,40 @@ def _wl_hackbench(session, opts):
             "total_messages": result.total_messages}
 
 
+def _latency_us(value):
+    """NaN-safe latency cell: JSON payloads carry None, not NaN."""
+    return None if value != value else round(value, 3)
+
+
+def _wl_faas(session, opts):
+    from repro.workloads.faas import run_faas
+    result = run_faas(session.kernel, session.policy, **opts)
+    return {
+        "p50_us": _latency_us(result.p50_us),
+        "p99_us": _latency_us(result.p99_us),
+        "p999_us": _latency_us(result.p999_us),
+        "long_p99_us": _latency_us(result.long_p99_us),
+        "throughput_rps": round(result.throughput_rps, 3),
+        "invocations": result.total_invocations,
+        "offered": result.offered,
+        "completed": result.completed,
+        "cold_starts": result.cold_starts,
+        "warm_pool": result.warm_pool,
+    }
+
+
 WORKLOADS = {
     "pipe": _wl_pipe,
     "schbench": _wl_schbench,
     "fairness": _wl_fairness,
     "hackbench": _wl_hackbench,
+    "faas": _wl_faas,
 }
+
+
+def workload_names():
+    """Every workload name ``run_spec`` accepts."""
+    return sorted(WORKLOADS) + ["cluster"]
 
 
 def run_spec(spec):
@@ -123,7 +151,9 @@ def run_spec(spec):
         return run_cluster_spec(spec)
     runner = WORKLOADS.get(spec.workload)
     if runner is None:
-        raise SimError(f"unknown bench workload {spec.workload!r}")
+        raise SimError(
+            f"unknown bench workload {spec.workload!r}; registered "
+            f"workloads: {', '.join(workload_names())}")
     session = KernelBuilder.session_from_spec(spec)
     metrics = runner(session, dict(spec.workload_options))
     session.stop()
@@ -329,6 +359,13 @@ def smoke_specs(seed=0):
         seed=derive_seed(seed, 101),
         workload="fairness",
         workload_options={"tasks": 4, "work_ns": 20_000_000}))
+    specs.append(ScenarioSpec(
+        name="smoke-faas-serverless", sched="serverless",
+        seed=derive_seed(seed, 102), workload="faas",
+        workload_options={"offered_rps": 8_000, "functions": 16,
+                          "max_workers": 16, "hint_fraction": 0.25,
+                          "warmup_ns": 20_000_000,
+                          "duration_ns": 80_000_000}))
     return specs
 
 
@@ -356,6 +393,97 @@ def default_specs(seed=0):
         name="fairness-wfq", sched="wfq",
         seed=derive_seed(seed, 203), workload="fairness",
         workload_options={"work_ns": 100_000_000}))
+    specs.append(ScenarioSpec(
+        name="faas-serverless", sched="serverless",
+        seed=derive_seed(seed, 204), workload="faas",
+        workload_options={**FAAS_BASE_OPTIONS, "offered_rps": 18_000,
+                          "warmup_ns": 100_000_000,
+                          "duration_ns": 900_000_000}))
+    specs.append(ScenarioSpec(
+        name="faas-cfs", sched="cfs",
+        seed=derive_seed(seed, 204), workload="faas",
+        workload_options={**FAAS_BASE_OPTIONS, "offered_rps": 18_000,
+                          "warmup_ns": 100_000_000,
+                          "duration_ns": 900_000_000}))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# the FaaS table (``repro bench --faas``)
+# ----------------------------------------------------------------------
+
+#: knobs shared by every FaaS scenario so the schedulers face the same
+#: trace; per-spec entries override only load and episode length
+FAAS_BASE_OPTIONS = {
+    "functions": 64,
+    "zipf_s": 1.1,
+    "long_function_fraction": 0.125,
+    "short_service_us": 150.0,
+    "short_sigma": 0.6,
+    "long_service_ms": 10.0,
+    "long_sigma": 0.3,
+    "cold_start_us": 250.0,
+    "max_workers": 64,
+    "hint_fraction": 0.25,
+    "burst_factor": 2.0,
+    "burst_every_ns": 250_000_000,
+    "burst_len_ns": 25_000_000,
+}
+
+#: cold-start-style tail SLOs attached to the headline FaaS episodes;
+#: ``repro report``-style window series + verdicts ride the bench payload
+FAAS_SLOS = (
+    {"name": "faas-wakeup-p99", "metric": "wakeup_p99_ns",
+     "max": 2_000_000},
+    {"name": "faas-rq-depth", "metric": "rq_depth_max", "max": 128},
+)
+
+#: schedulers in the FaaS comparison table
+FAAS_SCHEDULERS = ("serverless", "cfs", "eevdf", "wfq", "shinjuku")
+
+
+def faas_specs(seed=0, headline_invocations=1_000_000):
+    """The sweep behind ``repro bench --faas``: serverless vs the field
+    under sweeping load, plus a production-scale headline pair.
+
+    Per load level every scheduler gets the *same* derived seed, so they
+    face byte-identical invocation traces.  The headline serverless/cfs
+    pair runs a >= ``headline_invocations`` episode with telemetry SLOs
+    attached — the "millions of users" scenario at full scale.
+    """
+    specs = []
+    for index, rps in enumerate((12_000, 15_000, 18_000)):
+        for sched in FAAS_SCHEDULERS:
+            specs.append(ScenarioSpec(
+                name=f"faas-{sched}-{rps // 1000}k",
+                sched=sched,
+                seed=derive_seed(seed, 300 + index),
+                workload="faas",
+                workload_options={**FAAS_BASE_OPTIONS,
+                                  "offered_rps": rps,
+                                  "warmup_ns": 100_000_000,
+                                  "duration_ns": 500_000_000}))
+    # ~89% effective utilisation of the 8-CPU capacity implied by
+    # FAAS_BASE_OPTIONS (E[S] ~430us, bursts add 10% on average):
+    # contended enough that CFS's tail degrades by an order of
+    # magnitude, stable enough that the container pool's FIFO backlog —
+    # which no scheduler can reorder — does not grow without bound over
+    # the minute-long episode.
+    headline_rps = 15_000
+    warmup_ns = 2_000_000_000
+    duration_ns = int(headline_invocations / headline_rps * 1e9)
+    for sched in ("serverless", "cfs"):
+        specs.append(ScenarioSpec(
+            name=f"faas-{sched}-headline",
+            sched=sched,
+            seed=derive_seed(seed, 310),
+            workload="faas",
+            workload_options={**FAAS_BASE_OPTIONS,
+                              "offered_rps": headline_rps,
+                              "warmup_ns": warmup_ns,
+                              "duration_ns": duration_ns},
+            telemetry_ns=50_000_000,
+            slos=FAAS_SLOS))
     return specs
 
 
@@ -372,8 +500,11 @@ SIMPERF_SWEEP = "hotpath-v2"
 #: stresses run-queue churn, ``shinjuku-tail`` the preemption-heavy
 #: single-dispatcher path, and ``fuzz-episode`` the verify stack
 #: (sanitizers + oracles attached) so the observability fast path's cost
-#: under observation is tracked too.
-SIMPERF_WORKLOADS = ("pipe", "wfq-bench", "shinjuku-tail", "fuzz-episode")
+#: under observation is tracked too; ``faas`` measures the open-loop
+#: invocation hot loop (spawn-on-demand pool + hint ring + two-tier
+#: serverless picks).
+SIMPERF_WORKLOADS = ("pipe", "wfq-bench", "shinjuku-tail", "fuzz-episode",
+                     "faas")
 
 
 def _simperf_spec(workload, rounds):
@@ -397,6 +528,15 @@ def _simperf_spec(workload, rounds):
                               "warmup_ns": 20_000_000,
                               "duration_ns": max(50_000_000,
                                                  rounds * 100_000)})
+    if workload == "faas":
+        return ScenarioSpec(
+            name="simperf-faas", sched="serverless",
+            seed=derive_seed(0, 3), workload="faas",
+            workload_options={**FAAS_BASE_OPTIONS,
+                              "offered_rps": 20_000,
+                              "warmup_ns": 20_000_000,
+                              "duration_ns": max(100_000_000,
+                                                 rounds * 50_000)})
     raise SimError(f"unknown simperf workload {workload!r}")
 
 

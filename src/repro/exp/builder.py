@@ -39,6 +39,7 @@ def _enoki_factories():
         from repro.schedulers.eevdf import EnokiEevdf
         from repro.schedulers.fifo import EnokiFifo
         from repro.schedulers.locality import EnokiLocality
+        from repro.schedulers.serverless import EnokiServerless
         from repro.schedulers.shinjuku import EnokiShinjuku
         from repro.schedulers.wfq import EnokiWfq
         _ENOKI_FACTORIES.update({
@@ -48,6 +49,8 @@ def _enoki_factories():
             "shinjuku": lambda nr, policy, opts: EnokiShinjuku(
                 nr, policy, **opts),
             "locality": lambda nr, policy, opts: EnokiLocality(
+                nr, policy, **opts),
+            "serverless": lambda nr, policy, opts: EnokiServerless(
                 nr, policy, **opts),
         })
     return _ENOKI_FACTORIES

@@ -23,6 +23,10 @@ are loaded through the framework):
 * :class:`~repro.schedulers.eevdf.EnokiEevdf` — EEVDF, the policy that
   replaced CFS in Linux 6.6, as a ~100-line trait implementation (the
   development-velocity thesis, demonstrated forward).
+* :class:`~repro.schedulers.serverless.EnokiServerless` — an
+  scx_serverless-style two-tier policy: short FaaS invocations run to
+  completion, observed/declared long work is demoted to a fair backing
+  queue.
 """
 
 from repro.schedulers.arachne import EnokiCoreArbiter
@@ -34,6 +38,7 @@ from repro.schedulers.fifo_native import NativeFifoClass
 from repro.schedulers.locality import EnokiLocality
 from repro.schedulers.nest import EnokiNest
 from repro.schedulers.rt import RtSchedClass
+from repro.schedulers.serverless import EnokiServerless
 from repro.schedulers.shinjuku import EnokiShinjuku
 from repro.schedulers.wfq import EnokiWfq
 
@@ -45,6 +50,7 @@ __all__ = [
     "EnokiFifo",
     "EnokiLocality",
     "EnokiNest",
+    "EnokiServerless",
     "EnokiShinjuku",
     "EnokiWfq",
     "NativeFifoClass",

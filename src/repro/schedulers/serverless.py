@@ -1,0 +1,421 @@
+"""The Enoki serverless scheduler (scx_serverless-style).
+
+Design ported from the ``scx_serverless`` idea (SNIPPETS.md §1-2):
+identify short-lived FaaS invocations and run them to completion with
+minimal interruption, while heavy work is pushed to a fair backing
+queue so it cannot ruin the short tail.
+
+Classification is a per-wake-episode state machine:
+
+* every task starts (and restarts after each block) as **SHORT** —
+  optimistic, because FaaS workers serve a new invocation per wake;
+* a SHORT task whose observed episode runtime crosses
+  ``promote_threshold_us`` is **demoted to LONG** — the misclassification
+  path: the pick-time guard timer fires at exactly the threshold, so a
+  long job masquerading as short runs at most one threshold's worth
+  before it lands in the backing queue;
+* a hint (``{"expected_ns": ...}`` on the Enoki hint ring) classifies
+  immediately — the declared-duration fast path: declared-long tasks
+  skip the trial run entirely (a queued one moves to the backing queue
+  on the spot; a running one is rescheduled off the CPU).
+
+Two queue tiers per CPU:
+
+* **short**: FCFS by global sequence number (Shinjuku idiom).  A short
+  pick arms the resched timer at the promotion threshold only, so a
+  genuine short invocation is never interrupted — run to completion;
+* **long**: sorted by vruntime (WFQ idiom, unweighted), picked when no
+  short work exists or every ``long_every``-th pick as anti-starvation.
+
+A SHORT wakeup onto a CPU running a LONG task preempts it immediately;
+that plus run-to-completion shorts is where the p99 win over fairness
+schedulers comes from.
+"""
+
+from bisect import insort
+from dataclasses import dataclass, field
+from operator import itemgetter
+
+from repro.core.trait import EnokiScheduler
+
+_SEQ = itemgetter(0)
+
+SHORT = 0
+LONG = 1
+
+
+def _fresh_counters():
+    return {
+        "demotions": 0,          # observed-runtime promotions to LONG
+        "hint_short": 0,         # hints declaring a short duration
+        "hint_long": 0,          # hints declaring a long duration
+        "short_picks": 0,
+        "long_picks": 0,
+        "wakeup_preempts": 0,    # LONG kicked off-CPU by a SHORT wakeup
+    }
+
+
+@dataclass
+class ServerlessTransferState:
+    """State passed across a live upgrade of the serverless scheduler."""
+
+    short_queues: dict = field(default_factory=dict)
+    long_queues: dict = field(default_factory=dict)
+    classes: dict = field(default_factory=dict)
+    episode_base: dict = field(default_factory=dict)
+    vruntime: dict = field(default_factory=dict)
+    last_runtime: dict = field(default_factory=dict)
+    min_vruntime: dict = field(default_factory=dict)
+    current: dict = field(default_factory=dict)
+    shorts_streak: dict = field(default_factory=dict)
+    next_seq: int = 0
+    counters: dict = field(default_factory=_fresh_counters)
+    generation: int = 1
+
+
+class EnokiServerless(EnokiScheduler):
+    """Short-FaaS-first two-tier scheduler with runtime classification."""
+
+    TRANSFER_TYPE = ServerlessTransferState
+
+    #: Opt out of the kernel's tick-driven wakeup preemption: shorts run
+    #: to completion, and the module's own resched timers handle the one
+    #: case that must preempt (a SHORT waking over a running LONG).
+    WAKEUP_PREEMPT = None
+
+    def __init__(self, nr_cpus, policy=9, promote_threshold_us=1_000,
+                 long_slice_us=1_000, long_every=8):
+        super().__init__()
+        self.nr_cpus = nr_cpus
+        self.policy = policy
+        self.promote_threshold_ns = promote_threshold_us * 1_000
+        self.long_slice_ns = long_slice_us * 1_000
+        #: anti-starvation: serve a LONG after this many SHORT picks
+        self.long_every = long_every
+        # cpu -> [(seq, pid, token)] FCFS, sorted by seq at all times
+        self.short_queues = {cpu: [] for cpu in range(nr_cpus)}
+        # cpu -> [(pid, token)] sorted by vruntime (immutable while queued)
+        self.long_queues = {cpu: [] for cpu in range(nr_cpus)}
+        self.classes = {}        # pid -> SHORT/LONG (absent = SHORT)
+        self.episode_base = {}   # pid -> runtime at wake-episode start
+        self.vruntime = {}       # pid -> accumulated LONG-class runtime
+        self.last_runtime = {}   # pid -> last raw runtime seen
+        self.min_vruntime = {cpu: 0 for cpu in range(nr_cpus)}
+        self.current = {}        # cpu -> (pid, class at pick)
+        self.shorts_streak = {cpu: 0 for cpu in range(nr_cpus)}
+        self.next_seq = 0
+        self.counters = _fresh_counters()
+        self.generation = 1
+        self.lock = None
+
+    def module_init(self):
+        self.lock = self.env.create_lock("serverless-state")
+
+    def get_policy(self):
+        return self.policy
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _observe(self, pid, runtime):
+        """Fold a kernel-reported cumulative runtime into our view."""
+        last = self.last_runtime.get(pid, runtime)
+        self.last_runtime[pid] = runtime
+        delta = runtime - last
+        if delta > 0 and self.classes.get(pid, SHORT) == LONG:
+            self.vruntime[pid] = self.vruntime.get(pid, 0) + delta
+
+    def _episode_ns(self, pid, runtime):
+        return runtime - self.episode_base.get(pid, 0)
+
+    def _vrun_key(self, entry):
+        return self.vruntime.get(entry[0], 0)
+
+    def _insert(self, cpu, pid, token):
+        """Queue ``pid`` on ``cpu`` according to its current class."""
+        if self.classes.get(pid, SHORT) == LONG:
+            self.vruntime[pid] = max(self.vruntime.get(pid, 0),
+                                     self.min_vruntime[cpu])
+            insort(self.long_queues[cpu], (pid, token), key=self._vrun_key)
+        else:
+            self.next_seq += 1
+            insort(self.short_queues[cpu], (self.next_seq, pid, token),
+                   key=_SEQ)
+
+    def _remove(self, pid):
+        token = None
+        for queue in self.short_queues.values():
+            for entry in list(queue):
+                if entry[1] == pid:
+                    queue.remove(entry)
+                    token = entry[2]
+        for queue in self.long_queues.values():
+            for entry in list(queue):
+                if entry[0] == pid:
+                    queue.remove(entry)
+                    token = entry[1]
+        return token
+
+    def _demote(self, pid):
+        self.classes[pid] = LONG
+        self.counters["demotions"] += 1
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def _load(self, cpu):
+        return (len(self.short_queues[cpu]) + len(self.long_queues[cpu])
+                + (1 if cpu in self.current else 0))
+
+    def select_task_rq(self, pid, prev_cpu, waker_cpu, wake_flags,
+                       allowed_cpus):
+        candidates = (list(allowed_cpus) if allowed_cpus is not None
+                      else list(range(self.nr_cpus)))
+        with self.lock:
+            if prev_cpu in candidates and self._load(prev_cpu) == 0:
+                return prev_cpu
+            return min(candidates, key=lambda c: (self._load(c), c))
+
+    # ------------------------------------------------------------------
+    # task state tracking
+    # ------------------------------------------------------------------
+
+    def task_new(self, pid, tgid, runtime, runnable, prio, sched):
+        with self.lock:
+            self.last_runtime[pid] = runtime
+            self.episode_base[pid] = runtime
+            self._insert(sched.cpu, pid, sched)
+
+    def task_wakeup(self, pid, agent_data, deferrable, last_run_cpu,
+                    wake_up_cpu, waker_cpu, sched):
+        with self.lock:
+            cpu = sched.cpu
+            self.episode_base[pid] = self.last_runtime.get(pid, 0)
+            cls = self.classes.get(pid, SHORT)
+            self._insert(cpu, pid, sched)
+            running = self.current.get(cpu)
+            preempt = (cls == SHORT and running is not None
+                       and running[1] == LONG)
+            if preempt:
+                self.counters["wakeup_preempts"] += 1
+        if preempt:
+            # A short invocation never waits behind a long job: kick the
+            # long off the CPU now, it re-queues behind its vruntime.
+            self.env.start_resched_timer(cpu, 0)
+
+    def task_blocked(self, pid, runtime, cpu_seqnum, cpu, from_switchto):
+        with self.lock:
+            self._observe(pid, runtime)
+            self._remove(pid)
+            self.current.pop(cpu, None)
+            # End of the wake episode: classification resets to the
+            # optimistic default — the next wake may serve a different
+            # (short) invocation on the same worker task.
+            self.classes.pop(pid, None)
+
+    def task_preempt(self, pid, runtime, cpu_seqnum, cpu, from_switchto,
+                     was_latched, sched):
+        with self.lock:
+            self._observe(pid, runtime)
+            self.current.pop(cpu, None)
+            if (self.classes.get(pid, SHORT) == SHORT
+                    and self._episode_ns(pid, runtime)
+                    >= self.promote_threshold_ns):
+                # Misclassified: it called itself short (or said nothing)
+                # and outran the trial slice.
+                self._demote(pid)
+            self._insert(sched.cpu, pid, sched)
+
+    def task_dead(self, pid):
+        with self.lock:
+            self._remove(pid)
+            self._forget(pid)
+            for cpu, (cur, _cls) in list(self.current.items()):
+                if cur == pid:
+                    del self.current[cpu]
+
+    def task_departed(self, pid, cpu_seqnum, cpu, from_switchto,
+                      was_current):
+        with self.lock:
+            token = self._remove(pid)
+            self._forget(pid)
+        return token
+
+    def _forget(self, pid):
+        self.classes.pop(pid, None)
+        self.episode_base.pop(pid, None)
+        self.vruntime.pop(pid, None)
+        self.last_runtime.pop(pid, None)
+
+    def migrate_task_rq(self, pid, new_cpu, sched):
+        with self.lock:
+            old_token = self._remove(pid)
+            self._insert(new_cpu, pid, sched)
+        return old_token
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def pick_next_task(self, cpu, curr_pid, curr_runtime, runtimes):
+        with self.lock:
+            for pid, runtime in runtimes.items():
+                self._observe(pid, runtime)
+            shortq = self.short_queues[cpu]
+            longq = self.long_queues[cpu]
+            take_long = longq and (
+                not shortq
+                or self.shorts_streak[cpu] >= self.long_every)
+            if take_long:
+                pid, token = longq.pop(0)
+                self.shorts_streak[cpu] = 0
+                self.min_vruntime[cpu] = max(self.min_vruntime[cpu],
+                                             self.vruntime.get(pid, 0))
+                self.current[cpu] = (pid, LONG)
+                self.counters["long_picks"] += 1
+                slice_ns = self.long_slice_ns
+            elif shortq:
+                _seq, pid, token = shortq.pop(0)
+                self.shorts_streak[cpu] += 1
+                self.current[cpu] = (pid, self.classes.get(pid, SHORT))
+                self.counters["short_picks"] += 1
+                # The guard timer *is* the classifier: a genuine short
+                # finishes before it fires (zero interruptions), a
+                # misclassified long is preempted and demoted by it.
+                slice_ns = self.promote_threshold_ns
+            else:
+                return None
+        self.env.start_resched_timer(cpu, slice_ns)
+        return token
+
+    def pnt_err(self, cpu, pid, err, sched):
+        if sched is not None:
+            with self.lock:
+                self._remove(sched.pid)
+
+    def balance(self, cpu):
+        """Idle CPUs steal waiting shorts first, then backing-queue work."""
+        with self.lock:
+            if self.short_queues[cpu] or self.long_queues[cpu]:
+                return None
+            best, waiting = None, 0
+            for other in range(self.nr_cpus):
+                if other == cpu:
+                    continue
+                n = len(self.short_queues[other])
+                if n > waiting:
+                    best, waiting = other, n
+            if best is not None:
+                return self.short_queues[best][0][1]
+            for other in range(self.nr_cpus):
+                if other == cpu:
+                    continue
+                n = len(self.long_queues[other])
+                if n > waiting:
+                    best, waiting = other, n
+            if best is not None:
+                return self.long_queues[best][0][0]
+            return None
+
+    def balance_err(self, cpu, pid, err, sched):
+        pass
+
+    def task_tick(self, cpu, queued, pid, runtime):
+        if pid is None:
+            return
+        with self.lock:
+            self._observe(pid, runtime)
+            running = self.current.get(cpu)
+            if running is None or running[0] != pid or not queued:
+                return
+            # Backup demotion path for when the guard timer was replaced
+            # (e.g. by a wakeup preemption on another class's behalf).
+            preempt = (self.classes.get(pid, SHORT) == SHORT
+                       and self._episode_ns(pid, runtime)
+                       >= self.promote_threshold_ns)
+        if preempt:
+            self.env.start_resched_timer(cpu, 0)
+
+    # ------------------------------------------------------------------
+    # hints: the declared-duration fast path
+    # ------------------------------------------------------------------
+
+    def parse_hint(self, hint):
+        payload = hint.payload
+        if not isinstance(payload, dict):
+            return
+        expected = payload.get("expected_ns")
+        if not isinstance(expected, int) or hint.pid is None:
+            return
+        pid = hint.pid
+        kick_cpu = None
+        with self.lock:
+            if expected >= self.promote_threshold_ns:
+                self.counters["hint_long"] += 1
+                already_long = self.classes.get(pid, SHORT) == LONG
+                self.classes[pid] = LONG
+                if not already_long:
+                    for cpu, (cur, _cls) in self.current.items():
+                        if cur == pid:
+                            # Declared-long while running: reschedule it
+                            # off the CPU, the preempt path re-queues it
+                            # into the backing queue.
+                            self.current[cpu] = (pid, LONG)
+                            kick_cpu = cpu
+                            break
+                    else:
+                        token = self._remove(pid)
+                        if token is not None:
+                            self._insert(token.cpu, pid, token)
+            else:
+                self.counters["hint_short"] += 1
+                self.classes[pid] = SHORT
+        if kick_cpu is not None:
+            self.env.start_resched_timer(kick_cpu, 0)
+
+    # ------------------------------------------------------------------
+    # live upgrade
+    # ------------------------------------------------------------------
+
+    def reregister_prepare(self):
+        return ServerlessTransferState(
+            short_queues=self.short_queues,
+            long_queues=self.long_queues,
+            classes=self.classes,
+            episode_base=self.episode_base,
+            vruntime=self.vruntime,
+            last_runtime=self.last_runtime,
+            min_vruntime=self.min_vruntime,
+            current=self.current,
+            shorts_streak=self.shorts_streak,
+            next_seq=self.next_seq,
+            counters=self.counters,
+            generation=self.generation,
+        )
+
+    def reregister_init(self, state):
+        if state is None:
+            return
+        self.short_queues = state.short_queues
+        self.long_queues = state.long_queues
+        self.classes = state.classes
+        self.episode_base = state.episode_base
+        self.vruntime = state.vruntime
+        self.last_runtime = state.last_runtime
+        self.min_vruntime = state.min_vruntime
+        self.current = state.current
+        self.shorts_streak = state.shorts_streak
+        self.next_seq = state.next_seq
+        self.counters = state.counters
+        self.generation = state.generation + 1
+        for cpu in range(self.nr_cpus):
+            self.short_queues.setdefault(cpu, [])
+            self.long_queues.setdefault(cpu, [])
+            self.min_vruntime.setdefault(cpu, 0)
+            self.shorts_streak.setdefault(cpu, 0)
+        for queue in self.short_queues.values():
+            queue.sort(key=_SEQ)
+        for queue in self.long_queues.values():
+            queue.sort(key=self._vrun_key)

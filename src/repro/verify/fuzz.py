@@ -42,7 +42,7 @@ TASK_POLICY = 7
 #: schedulers the fuzzer rotates through (a subset of the
 #: ``repro.exp`` registry); all are same-TRANSFER_TYPE-safe to upgrade
 #: to a fresh instance of themselves mid-run
-SCHEDULER_NAMES = ("eevdf", "fifo", "wfq")
+SCHEDULER_NAMES = ("eevdf", "fifo", "serverless", "wfq")
 
 #: fault kinds the fuzzer composes ad-hoc plans from (beyond the built-in
 #: plans).  ``hang`` is excluded: its hang_ns needs workload-aware tuning
@@ -70,11 +70,16 @@ class TaskSpec:
     phases: int = 4
     hints: bool = False
     yield_every: int = 0      # 0 = never
+    #: FaaS-style declared duration: when nonzero (and hints are on) the
+    #: task announces ``{"expected_ns": declare_ns}`` before each burst,
+    #: exercising the serverless scheduler's classification fast path.
+    declare_ns: int = 0
 
     def to_dict(self):
         return {"run_ns": self.run_ns, "sleep_ns": self.sleep_ns,
                 "phases": self.phases, "hints": self.hints,
-                "yield_every": self.yield_every}
+                "yield_every": self.yield_every,
+                "declare_ns": self.declare_ns}
 
     @classmethod
     def from_dict(cls, data):
@@ -173,6 +178,11 @@ def generate_episode(seed, sched=None):
             phases=rng.randint(1, 8),
             hints=rng.random() < 0.4,
             yield_every=rng.choice((0, 0, 2, 3)),
+            # A third of hinting tasks declare a duration (faas-style);
+            # the declaration may lie relative to run_ns, which is the
+            # interesting case for runtime classifiers.
+            declare_ns=(rng.randrange(usecs(20), usecs(4_000))
+                        if rng.random() < 0.33 else 0),
         ))
     upgrade_at_ns = 0
     if rng.random() < 0.3:
@@ -206,6 +216,9 @@ def _make_program(task_spec, policy):
     """Build the generator function a :class:`TaskSpec` describes."""
     def program():
         for i in range(task_spec.phases):
+            if task_spec.hints and task_spec.declare_ns and policy != 0:
+                yield SendHint({"expected_ns": task_spec.declare_ns},
+                               policy=policy)
             yield Run(task_spec.run_ns)
             if task_spec.hints and policy != 0:
                 yield SendHint({"tid": None, "seq": i}, policy=policy)

@@ -10,4 +10,7 @@
   (Table 5).
 * :mod:`~repro.workloads.fairness` — the appendix A.1 functional
   equivalence suite.
+* :mod:`~repro.workloads.faas` — the Azure-Functions-style serverless
+  trace sampler + open-loop warm/cold container-pool executor (the
+  ROADMAP's production-scale FaaS scenario).
 """

@@ -155,6 +155,33 @@ class TestBenchRunner:
         with pytest.raises(SimError):
             run_spec(ScenarioSpec(workload="raytrace"))
 
+    def test_unknown_workload_error_lists_the_registry(self):
+        """Fail fast *and* helpfully: the message names every workload
+        that would have worked."""
+        from repro.exp.bench import workload_names
+
+        with pytest.raises(SimError) as excinfo:
+            run_spec(ScenarioSpec(workload="raytrace"))
+        message = str(excinfo.value)
+        assert "raytrace" in message
+        for name in workload_names():
+            assert name in message
+
+    def test_spec_hash_ignores_workload_option_key_order(self):
+        a = ScenarioSpec(name="x", seed=1, workload="faas",
+                         workload_options={"offered_rps": 9_000,
+                                           "functions": 16,
+                                           "max_workers": 8})
+        b = ScenarioSpec(name="x", seed=1, workload="faas",
+                         workload_options={"max_workers": 8,
+                                           "functions": 16,
+                                           "offered_rps": 9_000})
+        assert a.spec_hash() == b.spec_hash()
+        c = a.to_dict()
+        c["workload_options"] = dict(
+            reversed(list(c["workload_options"].items())))
+        assert ScenarioSpec.from_dict(c).spec_hash() == a.spec_hash()
+
     def test_sweep_identical_across_workers_and_cache(self, tmp_path):
         specs = _tiny_specs()
         cold = run_sweep(specs, "t", workers=2,

@@ -1,0 +1,314 @@
+"""Property tests for the FaaS trace sampler and behaviour tests for
+the serverless scheduler (the ISSUE's production-scale workload pair).
+
+Sampler tests are pure statistics on :class:`FaasSampler` — no kernel.
+Scheduler tests drive :func:`run_faas` (or hand-rolled programs) under
+:class:`EnokiServerless` and assert on its classification counters and
+the kernel's per-task stats.
+"""
+
+import statistics
+from collections import Counter
+
+import pytest
+
+from repro.core import EnokiSchedClass, UpgradeManager
+from repro.schedulers.cfs import CfsSchedClass
+from repro.schedulers.serverless import EnokiServerless
+from repro.simkernel import Kernel, SimConfig, Topology
+from repro.simkernel.clock import msecs, usecs
+from repro.simkernel.program import Run, SendHint, Sleep
+from repro.simkernel.task import TaskState
+from repro.workloads.faas import FaasSampler, run_faas
+
+POLICY = 7
+
+
+def make(nr_cpus=4, **sched_kwargs):
+    kernel = Kernel(Topology.smp(nr_cpus), SimConfig())
+    kernel.register_sched_class(CfsSchedClass(policy=0), priority=5)
+    sched = EnokiServerless(nr_cpus, POLICY, **sched_kwargs)
+    shim = EnokiSchedClass.register(kernel, sched, POLICY, priority=10)
+    return kernel, shim, sched
+
+
+class TestFaasSampler:
+    def test_same_seed_same_trace(self):
+        a = FaasSampler(seed=42).generate(4_000)
+        b = FaasSampler(seed=42).generate(4_000)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = FaasSampler(seed=42).generate(1_000)
+        b = FaasSampler(seed=43).generate(1_000)
+        assert a != b
+
+    def test_interarrival_mean_matches_offered_rate(self):
+        rps = 20_000.0
+        trace = FaasSampler(seed=7, offered_rps=rps).generate(20_000)
+        mean_gap = (trace[-1][0] - trace[0][0]) / (len(trace) - 1)
+        assert 1e9 / rps * 0.95 < mean_gap < 1e9 / rps * 1.05
+
+    def test_durations_are_bimodal(self):
+        trace = FaasSampler(seed=7).generate(20_000)
+        shorts = [svc for _, _, svc, is_long in trace if not is_long]
+        longs = [svc for _, _, svc, is_long in trace if is_long]
+        assert shorts and longs
+        # Two well-separated modes: ~150us handlers vs ~10ms jobs.
+        assert statistics.median(shorts) < usecs(1_000)
+        assert statistics.median(longs) > msecs(5)
+        assert statistics.median(longs) > 10 * statistics.median(shorts)
+        # Everything respects the 1us service floor.
+        assert min(svc for _, _, svc, _ in trace) >= 1_000
+
+    def test_zipf_popularity_skew(self):
+        sampler = FaasSampler(seed=7, functions=64, zipf_s=1.1)
+        counts = Counter(fid for _, fid, _, _ in sampler.generate(40_000))
+        total = sum(counts.values())
+        top8 = sum(count for _, count in counts.most_common(8))
+        # A Zipf(1.1) head: 8/64 functions carry most of the traffic.
+        assert top8 > 0.5 * total
+        # And rank 1 (func_id 0) is the hottest function of all.
+        assert counts.most_common(1)[0][0] == 0
+
+    def test_long_functions_are_the_unpopular_tail(self):
+        sampler = FaasSampler(seed=7, functions=64,
+                              long_function_fraction=0.125)
+        long_ids = {p.func_id for p in sampler.profiles if p.is_long}
+        assert long_ids == set(range(56, 64))
+        assert sampler.long_weight_share < 0.1
+
+    def test_burst_windows_multiply_rate(self):
+        sampler = FaasSampler(seed=7, offered_rps=10_000.0,
+                              burst_factor=3.0,
+                              burst_every_ns=msecs(100),
+                              burst_len_ns=msecs(10))
+        assert sampler.rate_at(msecs(5)) == 30_000.0
+        assert sampler.rate_at(msecs(50)) == 10_000.0
+        assert sampler.rate_at(msecs(105)) == 30_000.0
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            FaasSampler(seed=0, functions=0)
+        with pytest.raises(ValueError):
+            FaasSampler(seed=0, offered_rps=0)
+
+
+class TestRunFaas:
+    def run_small(self, seed=3, **kwargs):
+        kernel, _, _ = make(nr_cpus=4)
+        options = dict(offered_rps=8_000, functions=16, max_workers=16,
+                       warmup_ns=msecs(10), duration_ns=msecs(60),
+                       seed=seed)
+        options.update(kwargs)
+        result = run_faas(kernel, POLICY, **options)
+        return kernel, result
+
+    def test_task_conservation(self):
+        """Every invocation that arrives completes; every container
+        drains.  Runs under REPRO_SANITIZE=1 in CI, so the substrate's
+        invariant checkers see the whole episode."""
+        kernel, result = self.run_small()
+        assert result.offered > 0
+        assert result.completed == result.offered
+        workers = [t for t in kernel.tasks.values()
+                   if t.name.startswith("faas-w")]
+        assert len(workers) == result.warm_pool
+        assert all(t.state is TaskState.DEAD for t in workers)
+
+    def test_deterministic_given_seed(self):
+        _, a = self.run_small(seed=9)
+        _, b = self.run_small(seed=9)
+        assert a.short_latencies_ns == b.short_latencies_ns
+        assert a.long_latencies_ns == b.long_latencies_ns
+        assert a.cold_starts == b.cold_starts
+
+    def test_hints_reach_the_scheduler(self):
+        kernel, _, sched = make(nr_cpus=4)
+        run_faas(kernel, POLICY, offered_rps=8_000, functions=16,
+                 max_workers=16, warmup_ns=msecs(10),
+                 duration_ns=msecs(60), hint_fraction=1.0, seed=3)
+        counters = sched.counters
+        assert counters["hint_short"] + counters["hint_long"] > 0
+
+    def test_prewarmed_pool_avoids_cold_starts(self):
+        _, cold = self.run_small(prewarm=0)
+        _, warm = self.run_small(prewarm=16)
+        assert warm.cold_starts == 0
+        assert warm.warm_pool == 16
+        assert cold.cold_starts >= 0
+
+
+def short_prog(bursts=20, work=usecs(200), sleep=usecs(100)):
+    def prog():
+        for _ in range(bursts):
+            yield Run(work)
+            yield Sleep(sleep)
+    return prog
+
+
+def long_prog(work=msecs(5)):
+    def prog():
+        yield Run(work)
+    return prog
+
+
+class TestServerlessScheduler:
+    def test_shorts_run_to_completion_preempt_free(self):
+        """A genuine short burst is never interrupted: the guard timer
+        fires at the promotion threshold, which shorts finish under."""
+        kernel, _, sched = make(nr_cpus=2)
+        tasks = [kernel.spawn(short_prog(), policy=POLICY,
+                              name=f"short-{i}", origin_cpu=i % 2)
+                 for i in range(4)]
+        kernel.run_until_idle()
+        assert all(t.state is TaskState.DEAD for t in tasks)
+        assert all(t.stats.preemptions == 0 for t in tasks)
+        assert sched.counters["short_picks"] > 0
+        assert sched.counters["demotions"] == 0
+
+    def test_undeclared_long_is_demoted(self):
+        kernel, _, sched = make(nr_cpus=1)
+        long_task = kernel.spawn(long_prog(), policy=POLICY, name="long")
+        kernel.spawn(short_prog(), policy=POLICY, name="short")
+        kernel.run_until_idle()
+        assert sched.counters["demotions"] >= 1
+        # The masquerading long paid at least one guard-timer preemption.
+        assert long_task.stats.preemptions >= 1
+
+    def test_hinted_long_skips_the_trial_run(self):
+        """The declared-duration fast path: a task that announces a long
+        expected runtime is classified LONG before it ever runs, so the
+        demotion (misclassification) path stays cold."""
+        kernel, _, sched = make(nr_cpus=2)
+
+        def declared_long():
+            yield SendHint({"expected_ns": msecs(5)}, policy=POLICY)
+            yield Run(msecs(5))
+
+        kernel.spawn(declared_long, policy=POLICY, name="declared")
+        kernel.run_until_idle()
+        assert sched.counters["hint_long"] == 1
+        assert sched.counters["demotions"] == 0
+
+    def test_hinted_short_counted(self):
+        kernel, _, sched = make(nr_cpus=1)
+
+        def declared_short():
+            yield SendHint({"expected_ns": usecs(100)}, policy=POLICY)
+            yield Run(usecs(100))
+
+        kernel.spawn(declared_short, policy=POLICY, name="declared")
+        kernel.run_until_idle()
+        assert sched.counters["hint_short"] == 1
+        assert sched.counters["hint_long"] == 0
+
+    def test_foreign_hint_payloads_ignored(self):
+        """The fuzzer sends arbitrary hint payloads; parse_hint must not
+        crash or misclassify on them."""
+        kernel, _, sched = make(nr_cpus=1)
+
+        def noisy():
+            yield SendHint({"tid": None, "seq": 1}, policy=POLICY)
+            yield SendHint("not-a-dict", policy=POLICY)
+            yield SendHint({"expected_ns": "soon"}, policy=POLICY)
+            yield Run(usecs(50))
+
+        task = kernel.spawn(noisy, policy=POLICY, name="noisy")
+        kernel.run_until_idle()
+        assert task.state is TaskState.DEAD
+        assert sched.counters["hint_short"] == 0
+        assert sched.counters["hint_long"] == 0
+
+    def test_short_wakeup_preempts_running_long(self):
+        kernel, _, sched = make(nr_cpus=1)
+        kernel.spawn(long_prog(work=msecs(20)), policy=POLICY,
+                     name="long")
+
+        def late_short():
+            yield Sleep(msecs(4))
+            yield Run(usecs(100))
+
+        short = kernel.spawn(late_short, policy=POLICY, name="short")
+        kernel.run_until_idle()
+        assert sched.counters["wakeup_preempts"] >= 1
+        # The short finished long before the 20ms job could have.
+        assert short.stats.finished_ns < msecs(19)
+
+    def test_classification_resets_per_wake_episode(self):
+        """A worker that served a long invocation goes back to SHORT
+        after blocking — the next (short) invocation on the same task
+        must not inherit the LONG class."""
+        kernel, _, sched = make(nr_cpus=1)
+
+        def long_then_short():
+            yield Run(msecs(5))      # demoted mid-run
+            yield Sleep(usecs(100))  # episode ends, class resets
+            yield Run(usecs(100))    # short again
+
+        task = kernel.spawn(long_then_short, policy=POLICY, name="mixed")
+        kernel.run_until_idle()
+        assert task.state is TaskState.DEAD
+        assert sched.counters["demotions"] == 1
+        assert sched.classes == {}
+
+    def test_live_upgrade_mid_episode_loses_no_invocations(self):
+        """Enoki's headline feature on the new scheduler: replace the
+        serverless module mid-trace, state transfers, nothing is lost."""
+        kernel, shim, old_sched = make(nr_cpus=4)
+        manager = UpgradeManager(kernel, shim)
+        new_sched = EnokiServerless(4, POLICY)
+        kernel.events.after(msecs(30),
+                            lambda: manager.upgrade_now(new_sched))
+        result = run_faas(kernel, POLICY, offered_rps=8_000,
+                          functions=16, max_workers=16,
+                          warmup_ns=msecs(10), duration_ns=msecs(60),
+                          hint_fraction=0.5, seed=3)
+        assert result.completed == result.offered > 0
+        assert new_sched.generation == old_sched.generation + 1
+        assert shim.lib.scheduler is new_sched
+        workers = [t for t in kernel.tasks.values()
+                   if t.name.startswith("faas-w")]
+        assert all(t.state is TaskState.DEAD for t in workers)
+
+    def test_failover_to_cfs_mid_episode_loses_no_invocations(self):
+        """Containment path: the serverless module is torn down mid-trace
+        and its tasks requeued into native CFS — every in-flight
+        invocation still completes."""
+        kernel, shim, _ = make(nr_cpus=4)
+        shim.configure_containment(fallback_policy=0)
+        kernel.events.after(
+            msecs(30),
+            lambda: shim.containment.engage_failover(reason="test"))
+        result = run_faas(kernel, POLICY, offered_rps=8_000,
+                          functions=16, max_workers=16, prewarm=16,
+                          warmup_ns=msecs(10), duration_ns=msecs(60),
+                          seed=3)
+        assert shim.failed
+        assert result.completed == result.offered > 0
+        workers = [t for t in kernel.tasks.values()
+                   if t.name.startswith("faas-w")]
+        assert len(workers) == 16
+        assert all(t.state is TaskState.DEAD for t in workers)
+
+    def test_serverless_beats_cfs_p99_under_contention(self):
+        """The paper-style claim, scaled down to test size: under a
+        contended mixed short/long trace the serverless policy's short
+        p99 beats CFS's."""
+        def run(serverless):
+            if serverless:
+                kernel, _, _ = make(nr_cpus=4)
+                policy = POLICY
+            else:
+                kernel = Kernel(Topology.smp(4), SimConfig())
+                kernel.register_sched_class(CfsSchedClass(policy=0),
+                                            priority=5)
+                policy = 0
+            return run_faas(kernel, policy, offered_rps=7_500,
+                            functions=32, max_workers=32,
+                            warmup_ns=msecs(20), duration_ns=msecs(200),
+                            seed=11)
+
+        enoki, cfs = run(True), run(False)
+        assert enoki.completed == cfs.completed > 0
+        assert enoki.p99_us < cfs.p99_us

@@ -208,6 +208,49 @@ class TestFairnessWorkload:
         assert max(spreads) - min(spreads) < msecs(20)
 
 
+class TestSeedDeterminism:
+    """Every generator must be a pure function of its seed: identical
+    seeds give byte-identical samples, different seeds diverge.  (The
+    FaaS sampler's version of this lives in test_faas.py.)"""
+
+    def test_hackbench_is_seed_free_deterministic(self):
+        from repro.workloads.hackbench import run_hackbench
+
+        a = run_hackbench(cfs_kernel(), 0, groups=2, fds=3, loops=10)
+        b = run_hackbench(cfs_kernel(), 0, groups=2, fds=3, loops=10)
+        assert a.elapsed_ns == b.elapsed_ns
+        assert a.messages_per_second == b.messages_per_second
+
+    def test_schbench_seeds_diverge(self):
+        def run(seed):
+            return run_schbench(cfs_kernel(), 0, message_threads=2,
+                                workers_per_thread=2, seed=seed,
+                                warmup_ns=msecs(10),
+                                duration_ns=msecs(60)).samples_us
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_memcached_deterministic_given_seed(self):
+        def run(seed):
+            return run_memcached_threads(
+                cfs_kernel(), 0, offered_rps=50_000, seed=seed,
+                duration_ns=msecs(60), warmup_ns=msecs(10)).latencies_us
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_rocksdb_deterministic_given_seed(self):
+        def run(seed):
+            return run_rocksdb(
+                cfs_kernel(), 0, offered_rps=20_000, seed=seed,
+                duration_ns=msecs(80),
+                warmup_ns=msecs(10)).get_latencies_us
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
 class TestHackbench:
     def test_all_messages_drain(self):
         from repro.workloads.hackbench import run_hackbench
