@@ -191,8 +191,12 @@ def _observed_pipe_run(rounds, hogs, capacity):
 
     # Background load pinned to half the cores builds uneven queues, so
     # the trace also shows balancing: steals (migrate) and rejections.
+    # The hogs live in a bandwidth-capped task group, so the episode also
+    # exercises throttle/refill and the per-group metrics.
+    session.kernel.groups.create("hogs", quota_ns=usecs(1000),
+                                 period_ns=usecs(2000))
     for i in range(hogs):
-        session.spawn(hog, name=f"hog-{i}",
+        session.spawn(hog, name=f"hog-{i}", group="hogs",
                       allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
     result = run_pipe_benchmark(session.kernel, session.policy,
                                 rounds=rounds)
@@ -260,8 +264,12 @@ def _telemetry_pipe_run(rounds, hogs, interval_us, on_window=None,
             yield Run(usecs(40))
             yield Sleep(usecs(15))
 
+    # Same bandwidth-capped hog group as ``repro stats``: the telemetry
+    # windows then carry a per-group section (shares, throttles).
+    session.kernel.groups.create("hogs", quota_ns=usecs(1000),
+                                 period_ns=usecs(2000))
     for i in range(hogs):
-        session.spawn(hog, name=f"hog-{i}",
+        session.spawn(hog, name=f"hog-{i}", group="hogs",
                       allowed_cpus={0, 1, 2, 3}, origin_cpu=i % 4)
     result = run_pipe_benchmark(session.kernel, session.policy,
                                 rounds=rounds)
@@ -488,6 +496,10 @@ def cmd_fuzz(args):
 
 def _metric_headline(metrics):
     """The one number worth a table cell, per workload."""
+    if "tenants" in metrics:
+        return "shares " + "/".join(
+            f"{row['share'] * 100:.0f}%"
+            for _, row in sorted(metrics["tenants"].items()))
     for key, fmt in (("latency_us_per_message", "{:.2f} us/msg"),
                      ("p99_us", "p99 {:.1f} us"),
                      ("max_finish_ns", "max finish {:.3f} s"),
@@ -504,8 +516,10 @@ def _metric_headline(metrics):
 
 def cmd_bench(args):
     from repro.exp.bench import (compare_simperf, default_specs,
-                                 faas_specs, run_overhead_check,
-                                 run_simperf, run_sweep, smoke_specs)
+                                 faas_specs, multitenant_specs,
+                                 run_group_overhead_check,
+                                 run_overhead_check, run_simperf,
+                                 run_sweep, smoke_specs)
 
     if args.overhead:
         ok, lines = run_overhead_check(threshold=args.threshold,
@@ -514,6 +528,16 @@ def cmd_bench(args):
             print(line)
         if not ok:
             print("telemetry overhead above threshold")
+            return 1
+        return 0
+
+    if args.group_overhead:
+        ok, lines = run_group_overhead_check(threshold=args.threshold,
+                                             rounds=args.rounds)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("task-group overhead above threshold")
             return 1
         return 0
 
@@ -540,12 +564,15 @@ def cmd_bench(args):
     if args.faas:
         specs = faas_specs(args.seed,
                            headline_invocations=args.faas_invocations)
+    elif args.multitenant:
+        specs = multitenant_specs(args.seed)
     elif args.smoke:
         specs = smoke_specs(args.seed)
     else:
         specs = default_specs(args.seed)
     name = args.name if args.name else (
-        "smoke" if args.smoke else "faas" if args.faas else "sweep")
+        "smoke" if args.smoke else "faas" if args.faas
+        else "multitenant" if args.multitenant else "sweep")
     payload = run_sweep(specs, name, workers=args.workers,
                         cache_dir=args.cache_dir, out_dir=args.out_dir,
                         use_cache=not args.no_cache)
@@ -842,6 +869,10 @@ def main(argv=None):
                         "pair (writes BENCH_faas.json)")
     p.add_argument("--faas-invocations", type=int, default=1_000_000,
                    help="invocation count of the --faas headline episode")
+    p.add_argument("--multitenant", action="store_true",
+                   help="noisy-neighbour table: three tenants in "
+                        "weighted, bandwidth-capped task groups across "
+                        "schedulers (writes BENCH_multitenant.json)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size; results are identical at "
                         "any worker count")
@@ -873,6 +904,10 @@ def main(argv=None):
                    help="measure accounting+telemetry overhead on the "
                         "pipe simperf workload vs the hot baseline; "
                         "exit nonzero above --threshold (CI passes 0.05)")
+    p.add_argument("--group-overhead", action="store_true",
+                   help="measure the task-group fast-path cost on the "
+                        "flat pipe simperf workload; exit nonzero above "
+                        "--threshold (CI passes 0.05)")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

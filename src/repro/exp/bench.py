@@ -124,12 +124,32 @@ def _wl_faas(session, opts):
     }
 
 
+def _wl_multitenant(session, opts):
+    from repro.workloads.multitenant import run_multitenant
+    result = run_multitenant(session.kernel, session.policy, **opts)
+    out = {
+        "capacity_ns": result.capacity_ns,
+        "completed": result.completed,
+        "tenants": {},
+    }
+    for name, metrics in sorted(result.tenants.items()):
+        out["tenants"][name] = {
+            "runtime_ns": metrics["runtime_ns"],
+            "share": round(metrics["runtime_ns"] / result.capacity_ns, 4)
+            if result.capacity_ns else 0.0,
+            "throttles": metrics["throttle_count"],
+            "max_period_consumed_ns": metrics["max_period_consumed_ns"],
+        }
+    return out
+
+
 WORKLOADS = {
     "pipe": _wl_pipe,
     "schbench": _wl_schbench,
     "fairness": _wl_fairness,
     "hackbench": _wl_hackbench,
     "faas": _wl_faas,
+    "multitenant": _wl_multitenant,
 }
 
 
@@ -488,6 +508,64 @@ def faas_specs(seed=0, headline_invocations=1_000_000):
 
 
 # ----------------------------------------------------------------------
+# the multi-tenant table (``repro bench --multitenant``)
+# ----------------------------------------------------------------------
+
+#: the three-tenant contract shared by every multitenant scenario: a
+#: high-weight tenant, an equal-weight noisy neighbour, and a tenant
+#: capped at 20% of the machine by CPU bandwidth control
+MULTITENANT_GROUPS = (
+    {"name": "tenant-a", "weight": 2048},
+    {"name": "tenant-b", "weight": 1024},
+    {"name": "tenant-c", "weight": 1024,
+     "quota_ns": 2_000_000, "period_ns": 10_000_000},
+)
+
+#: per-tenant task counts (group parameters come from the spec's groups)
+MULTITENANT_TASKS = (
+    {"name": "tenant-a", "tasks": 4},
+    {"name": "tenant-b", "tasks": 4},
+    {"name": "tenant-c", "tasks": 2},
+)
+
+#: schedulers in the multitenant comparison table
+MULTITENANT_SCHEDULERS = ("cfs", "wfq", "eevdf")
+
+
+def multitenant_specs(seed=0, duration_ns=200_000_000):
+    """The sweep behind ``repro bench --multitenant``: the same
+    three-tenant noisy-neighbour contract across schedulers, plus one
+    mixed-policy scenario where each group picks its own scheduler
+    (tenant-b runs under native CFS while the rest stay on the Enoki
+    scheduler under test)."""
+    options = {"tenants": MULTITENANT_TASKS, "duration_ns": duration_ns}
+    specs = []
+    for index, sched in enumerate(MULTITENANT_SCHEDULERS):
+        specs.append(ScenarioSpec(
+            name=f"multitenant-{sched}", sched=sched, topology="smp:4",
+            seed=derive_seed(seed, 400 + index),
+            groups=MULTITENANT_GROUPS,
+            workload="multitenant", workload_options=options))
+    # Mixed-policy scenario: tenant-b runs under the native CFS class
+    # (policy 0) while a/c stay on the Enoki scheduler under test.  The
+    # Enoki class outranks the native class, so without bandwidth
+    # control the native tenant would starve outright (exactly the
+    # RT-vs-CFS story); capping the Enoki tenants hands tenant-b the
+    # residual — per-group policy choice made safe by per-group quotas.
+    mixed_groups = tuple(
+        dict(g, policy=0) if g["name"] == "tenant-b"
+        else dict(g, quota_ns=4_000_000, period_ns=10_000_000)
+        if g["name"] == "tenant-a" else dict(g)
+        for g in MULTITENANT_GROUPS)
+    specs.append(ScenarioSpec(
+        name="multitenant-mixed-policy", sched="wfq", topology="smp:4",
+        seed=derive_seed(seed, 410),
+        groups=mixed_groups,
+        workload="multitenant", workload_options=options))
+    return specs
+
+
+# ----------------------------------------------------------------------
 # simulator self-benchmark
 # ----------------------------------------------------------------------
 
@@ -725,3 +803,56 @@ def run_overhead_check(threshold=0.05, rounds=2000, repeats=3, rev=None,
                        **best["telemetry"]},
                   ]}
     return compare_simperf(trajectory, threshold)
+
+
+def run_group_overhead_check(threshold=0.05, rounds=2000, repeats=3,
+                             rev=None):
+    """The hierarchy-overhead gate behind ``repro bench --group-overhead``.
+
+    Runs the pipe simperf workload three ways per repeat — flat (no task
+    groups at all), with a group forest *defined* but every task still in
+    the implicit root group, and with both tasks inside a weight-only
+    group — alternating so drift hits all sides equally.  The gate fails
+    when the defined-but-unused run is more than ``threshold`` slower
+    than the flat run: flat workloads must not pay for the feature (lazy
+    period timers, single ``task.group`` test per hook).  The grouped
+    run's cost is reported informationally; it bounds what tenants pay
+    when they opt in.
+    """
+    from dataclasses import replace
+    rev = rev if rev is not None else git_rev()
+    flat_spec = _simperf_spec("pipe", rounds)
+    unused_spec = replace(
+        flat_spec, name="simperf-pipe-groups-unused",
+        groups=({"name": "tenant", "quota_ns": 2_000_000},))
+    grouped_spec = replace(
+        flat_spec, name="simperf-pipe-grouped",
+        groups=({"name": "tenant"},),
+        workload_options=dict(flat_spec.workload_options,
+                              group="tenant"))
+    best = {"flat": None, "unused": None, "grouped": None}
+    sides = (("flat", flat_spec), ("unused", unused_spec),
+             ("grouped", grouped_spec))
+    for _ in range(repeats):
+        for key, spec in sides:
+            start = time.perf_counter()
+            metrics = run_spec(spec)
+            wall = time.perf_counter() - start
+            rate = metrics["simulated_ns"] / wall if wall > 0 else 0.0
+            if best[key] is None or rate > best[key]["sim_ns_per_wall_s"]:
+                best[key] = {"sim_ns_per_wall_s": rate, "wall_s": wall,
+                             "simulated_ns": metrics["simulated_ns"]}
+    trajectory = {"kind": SIMPERF_KIND, "meta": {"sweep": SIMPERF_SWEEP},
+                  "entries": [
+                      {"workload": "pipe+groups",
+                       "git_rev": "flat-baseline", **best["flat"]},
+                      {"workload": "pipe+groups", "git_rev": rev,
+                       **best["unused"]},
+                  ]}
+    ok, lines = compare_simperf(trajectory, threshold)
+    flat_rate = best["flat"]["sim_ns_per_wall_s"]
+    grouped_rate = best["grouped"]["sim_ns_per_wall_s"]
+    change = ((grouped_rate - flat_rate) / flat_rate if flat_rate else 0.0)
+    lines.append(f"pipe+grouped (informational): {flat_rate:,.0f} -> "
+                 f"{grouped_rate:,.0f} sim-ns/wall-s ({change:+.1%})")
+    return ok, lines

@@ -11,7 +11,7 @@ kernel plus the handles every harness needs (the shim, the policy under
 test, a fresh-scheduler factory for live upgrades).
 """
 
-from repro.exp.spec import ScenarioSpec, parse_topology
+from repro.exp.spec import ScenarioSpec, canonical_groups, parse_topology
 from repro.simkernel import Kernel, SimConfig
 from repro.simkernel.errors import SimError
 
@@ -89,6 +89,22 @@ class Session:
     def spawn(self, prog, **kwargs):
         kwargs.setdefault("policy", self.policy)
         return self.kernel.spawn(prog, **kwargs)
+
+    def group_policy(self, group):
+        """The policy tasks of ``group`` should run under: the nearest
+        ancestor group with an explicit policy, else the scheduler under
+        test."""
+        node = self.kernel.groups.group(group)
+        while node is not None:
+            if node.policy is not None:
+                return node.policy
+            node = node.parent
+        return self.policy
+
+    def spawn_in_group(self, prog, group, **kwargs):
+        """Spawn into a task group, under that group's resolved policy."""
+        kwargs.setdefault("policy", self.group_policy(group))
+        return self.kernel.spawn(prog, group=group, **kwargs)
 
     def run_until_idle(self, max_events=None):
         return self.kernel.run_until_idle(max_events)
@@ -177,6 +193,7 @@ class KernelBuilder:
         self._policy = None           # policy under test
         self._shim_slot = {}          # filled at build time
         self._spec = None
+        self._groups = ()             # canonical group definitions
 
     # -- configuration --------------------------------------------------
 
@@ -194,6 +211,12 @@ class KernelBuilder:
     def with_seed(self, seed):
         """Seed the kernel's deterministic jitter RNG (``SimConfig.seed``)."""
         self._seed = seed
+        return self
+
+    def with_groups(self, groups):
+        """Declare a task-group forest (sparse dicts; parents first).
+        The groups are created on the kernel at build time."""
+        self._groups = canonical_groups(groups)
         return self
 
     # -- scheduler stack -------------------------------------------------
@@ -289,6 +312,11 @@ class KernelBuilder:
         if overrides:
             config = config.scaled(**overrides)
         kernel = Kernel(topology, config)
+        for g in self._groups:
+            kernel.groups.create(
+                g["name"], parent=g["parent"], weight=g["weight"],
+                quota_ns=g["quota_ns"], period_ns=g["period_ns"],
+                policy=g["policy"])
         self._shim_slot.clear()
         for register in self._registrations:
             register(kernel)
@@ -312,6 +340,8 @@ class KernelBuilder:
         builder._spec = spec
         if spec.config:
             builder.with_config(**spec.config)
+        if spec.groups:
+            builder.with_groups(spec.groups)
         if spec.sched in _native_factories() or spec.sched == "cfs":
             # Pure native stack: the scheduler under test is the base.
             builder.with_native(spec.sched, policy=0, priority=10,

@@ -39,6 +39,40 @@ def canonical_fault_plan(plan):
     return plan.to_dict()
 
 
+def canonical_groups(groups):
+    """Normalise a task-group forest to its canonical tuple-of-dicts form.
+
+    Group definitions ride in specs as sparse dicts (``{"name": "t0",
+    "quota_ns": 2_000_000}``); the bench cache keys on the spec hash, so
+    equal-meaning definitions must hash identically.  Every default is
+    filled in here and the declaration order is preserved (parents must
+    be declared before children — :class:`~repro.simkernel.groups
+    .GroupManager` enforces that at build time).
+    """
+    if not groups:
+        return ()
+    out = []
+    for g in groups:
+        g = dict(g)
+        name = g.pop("name", "")
+        if not name:
+            raise SimError("group definition needs a name")
+        entry = {
+            "name": str(name),
+            "parent": str(g.pop("parent", "root")),
+            "weight": int(g.pop("weight", 1024)),
+            "quota_ns": int(g.pop("quota_ns", 0)),
+            "period_ns": int(g.pop("period_ns", 0)),
+            "policy": g.pop("policy", None),
+        }
+        if entry["policy"] is not None:
+            entry["policy"] = int(entry["policy"])
+        if g:
+            raise SimError(f"unknown group fields {sorted(g)} for {name!r}")
+        out.append(entry)
+    return tuple(out)
+
+
 def parse_topology(desc):
     """Build a :class:`Topology` from its compact string form.
 
@@ -89,6 +123,7 @@ class ScenarioSpec:
     record: bool = False
     telemetry_ns: int = 0                           # 0 = no sampler
     slos: tuple = ()                                # SLOTarget.to_dict()s
+    groups: tuple = ()                              # task-group forest
 
     def to_dict(self):
         out = {
@@ -106,12 +141,15 @@ class ScenarioSpec:
             "upgrade_at_ns": self.upgrade_at_ns,
             "record": self.record,
         }
-        # Telemetry fields are emitted only when set so pre-existing spec
-        # hashes (the bench cache key) are unchanged by their addition.
+        # Telemetry and group fields are emitted only when set so
+        # pre-existing spec hashes (the bench cache key) are unchanged
+        # by their addition.
         if self.telemetry_ns:
             out["telemetry_ns"] = self.telemetry_ns
         if self.slos:
             out["slos"] = [dict(s) for s in self.slos]
+        if self.groups:
+            out["groups"] = [dict(g) for g in canonical_groups(self.groups)]
         return out
 
     @classmethod
@@ -123,6 +161,8 @@ class ScenarioSpec:
             ) if f in data}
         if "slos" in data:
             known["slos"] = tuple(dict(s) for s in data["slos"])
+        if "groups" in data:
+            known["groups"] = canonical_groups(data["groups"])
         return cls(**known)
 
     def with_seed(self, seed):

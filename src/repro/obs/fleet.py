@@ -68,6 +68,44 @@ def merge_fleet_wakeup_latency(machines):
     return merged
 
 
+#: additive fields in a ``TaskGroup.snapshot()`` row
+_GROUP_SUM_FIELDS = ("total_runtime_ns", "throttle_count", "throttled_ns",
+                     "periods", "parked")
+
+
+def merge_fleet_groups(machines):
+    """Per-task-group rollups across the fleet, keyed by group name.
+
+    A tenant usually spans machines under one group name, so rows merge
+    by name: additive counters sum, the per-period consumption watermark
+    takes the fleet max, ``throttled`` counts currently-throttled
+    instances, and ``machines`` counts contributors.  Down machines
+    contribute nothing; the result is ``{}`` when no machine defines
+    task groups.
+    """
+    merged = {}
+    for machine in machines:
+        session = machine.session
+        if session is None:
+            continue
+        for name, snap in session.kernel.groups.snapshot().items():
+            row = merged.get(name)
+            if row is None:
+                row = dict(snap)
+                row["throttled"] = int(bool(snap["throttled"]))
+                row["machines"] = 1
+                merged[name] = row
+                continue
+            for field in _GROUP_SUM_FIELDS:
+                row[field] += snap[field]
+            row["max_period_consumed_ns"] = max(
+                row["max_period_consumed_ns"],
+                snap["max_period_consumed_ns"])
+            row["throttled"] += int(bool(snap["throttled"]))
+            row["machines"] += 1
+    return merged
+
+
 def fleet_snapshot(fleet):
     """The full cluster-wide observability payload.
 
@@ -88,5 +126,6 @@ def fleet_snapshot(fleet):
         "router": fleet.router.summary(),
         "accounting": merge_fleet_accounting(fleet.machines),
         "wakeup_latency": merge_fleet_wakeup_latency(fleet.machines),
+        "groups": merge_fleet_groups(fleet.machines),
         "per_machine": per_machine,
     }

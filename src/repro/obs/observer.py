@@ -111,6 +111,13 @@ class Observer(SchedTracer):
                 "containment.panic." + fields.get("hook", "?")).inc()
         elif kind == "failover":
             registry.counter("containment.failovers").inc()
+        elif kind == "throttle":
+            registry.counter("group_throttles").inc()
+            registry.counter(
+                "groups." + str(fields.get("group", "?"))
+                + ".throttles").inc()
+        elif kind == "quota_refill":
+            registry.counter("group_refills").inc()
         elif kind == "watchdog_finding":
             registry.counter(
                 "watchdog." + fields.get("finding", "?")).inc()
@@ -154,6 +161,19 @@ class Observer(SchedTracer):
             registry.gauge(f"kernel.{prefix}.steals").set(cpu_stats.steals)
             registry.gauge(f"kernel.{prefix}.nr_running").set(
                 kernel.rqs[cpu_stats.cpu].nr_running)
+        for name, snap in sorted(kernel.groups.snapshot().items()):
+            prefix = f"groups.{name}"
+            registry.gauge(f"{prefix}.runtime_ns").set(
+                snap["total_runtime_ns"])
+            registry.gauge(f"{prefix}.weight").set(snap["weight"])
+            registry.gauge(f"{prefix}.throttled_ns").set(
+                snap["throttled_ns"])
+            registry.gauge(f"{prefix}.parked").set(snap["parked"])
+            if snap["quota_ns"]:
+                registry.gauge(f"{prefix}.quota_ns").set(snap["quota_ns"])
+                registry.gauge(f"{prefix}.periods").set(snap["periods"])
+                registry.gauge(f"{prefix}.max_period_consumed_ns").set(
+                    snap["max_period_consumed_ns"])
         latency_hist = registry.histogram("task.wakeup_latency_ns")
         for task in kernel.tasks.values():
             for sample in task.stats.wakeup_latencies:

@@ -235,6 +235,9 @@ class TelemetrySampler:
             "sched_invocations": stats.sched_invocations,
             "hint_drops": stats.hint_drops,
             "run_ns_by_policy": dict(self.accounting.run_ns_by_policy),
+            "groups": ({g.name: (g.total_runtime_ns, g.throttle_count)
+                        for g in kernel.groups.all_groups()}
+                       if kernel.groups.has_groups() else {}),
         }
 
     def _task_run_deltas(self, now):
@@ -346,6 +349,18 @@ class TelemetrySampler:
             "top_tasks": self._task_run_deltas(end_ns),
             "metrics": metrics,
         }
+        if cur["groups"]:
+            group_windows = {}
+            for name, (run, throttles) in cur["groups"].items():
+                prev_run, prev_thr = prev["groups"].get(name, (0, 0))
+                group = self.kernel.groups.group(name)
+                group_windows[name] = {
+                    "run_ns": run - prev_run,
+                    "throttles": throttles - prev_thr,
+                    "parked": len(group.parked),
+                    "throttled": group.throttled,
+                }
+            window["groups"] = group_windows
         if self.monitor is not None:
             window["slo_violations"] = self.monitor.evaluate(
                 self.kernel, index, end_ns, metrics)
@@ -486,6 +501,18 @@ def render_top_frame(window, width=72):
             f"{cpu['switches']:>8d} {cpu['steals']:>7d} "
             f"{cpu['nr_running']:>7d}"
         )
+    groups = window.get("groups")
+    if groups:
+        capacity = span * len(window["cpus"])
+        lines.append("  task groups (window CPU share):")
+        for name, row in sorted(groups.items()):
+            share = row["run_ns"] / capacity if capacity else 0.0
+            state = "THROTTLED" if row["throttled"] else ""
+            lines.append(
+                f"    {name:<20.20s} {share * 100:6.1f}% "
+                f"throttles {row['throttles']:<3d} "
+                f"parked {row['parked']:<3d} {state}"
+            )
     if window["top_tasks"]:
         lines.append("  top tasks (window CPU time):")
         for task in window["top_tasks"]:

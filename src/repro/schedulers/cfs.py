@@ -88,18 +88,23 @@ class CfsSchedClass(SchedClass):
         self._rqs = None
         self._last_periodic_balance = None
         self.group_shares = {self.ROOT_GROUP: NICE_0_WEIGHT}
-        self.group_of = {}           # pid -> group name
-        self._group_weight = None    # per-cpu {group: runnable weight}
-        self._pending_group = None
+        self.group_of = {}           # pid -> group name (compat mirror)
+        self._pending_shares = []    # groups created before attach
 
     def attach_kernel(self, kernel):
         super().attach_kernel(kernel)
         self._rqs = [_CfsRq(c) for c in kernel.topology.all_cpus()]
         self._last_periodic_balance = [0] * kernel.topology.nr_cpus
-        self._group_weight = [dict() for _ in kernel.topology.all_cpus()]
+        for name, shares in self._pending_shares:
+            self._materialize_group(name, shares)
+        self._pending_shares = []
 
     # ------------------------------------------------------------------
     # task groups (cgroup cpu.shares equivalent)
+    #
+    # This used to be a flat per-class approximation; it is now a thin
+    # adapter over the kernel's real hierarchy (kernel.groups), keeping
+    # the old keyword API.  ``shares`` maps to the group's weight.
     # ------------------------------------------------------------------
 
     def create_group(self, name, shares=NICE_0_WEIGHT):
@@ -107,43 +112,44 @@ class CfsSchedClass(SchedClass):
         if shares <= 0:
             raise ValueError(f"group shares must be positive: {shares}")
         self.group_shares[name] = shares
+        if self.kernel is None:
+            self._pending_shares.append((name, shares))
+        else:
+            self._materialize_group(name, shares)
+
+    def _materialize_group(self, name, shares):
+        groups = self.kernel.groups
+        if not groups.has(name):
+            groups.create(name, weight=shares, policy=self.policy)
 
     def spawn_in_group(self, prog, group, **spawn_kwargs):
         """Spawn a task directly into a group (fork into a cgroup)."""
         if group not in self.group_shares:
             raise ValueError(f"unknown group {group!r}")
-        self._pending_group = group
-        try:
-            task = self.kernel.spawn(prog, policy=self.policy,
-                                     **spawn_kwargs)
-            self.group_of[task.pid] = group
-        finally:
-            self._pending_group = None
+        spawn_group = group if group != self.ROOT_GROUP else None
+        task = self.kernel.spawn(prog, policy=self.policy,
+                                 group=spawn_group, **spawn_kwargs)
+        self.group_of[task.pid] = group
         return task
 
-    def _group(self, pid):
-        group = self.group_of.get(pid)
-        if group is not None:
-            return group
-        if self._pending_group is not None:
-            return self._pending_group
-        return self.ROOT_GROUP
-
-    def _group_weight_add(self, pid, weight, cpu, sign):
-        weights = self._group_weight[cpu]
-        group = self._group(pid)
-        weights[group] = weights.get(group, 0) + sign * weight
-        if weights[group] <= 0:
-            weights.pop(group, None)
+    @property
+    def _group_weight(self):
+        """Per-cpu ``{group: runnable weight}`` (compat view over the
+        hierarchy's runnable index; tests introspect this)."""
+        kernel = self.kernel
+        per_cpu = [dict() for _ in kernel.topology.all_cpus()]
+        for group in kernel.groups.all_groups():
+            if group.parent is None:
+                continue
+            for cpu, weight in enumerate(group.task_weight):
+                if weight:
+                    per_cpu[cpu][group.name] = weight
+        return per_cpu
 
     def _effective_weight(self, task):
-        group = self._group(task.pid)
-        if group == self.ROOT_GROUP and len(self.group_shares) == 1:
+        if task.group is None:
             return task.weight
-        group_runnable = max(
-            task.weight, self._group_weight[task.cpu].get(group, 0))
-        shares = self.group_shares.get(group, NICE_0_WEIGHT)
-        return max(1, task.weight * shares // group_runnable)
+        return self.kernel.groups.effective_weight(task, task.cpu)
 
     # ------------------------------------------------------------------
     # vruntime accounting
@@ -234,7 +240,6 @@ class CfsSchedClass(SchedClass):
     # ------------------------------------------------------------------
 
     def task_new(self, task, cpu):
-        self._group_weight_add(task.pid, task.weight, cpu, +1)
         rq = self._rqs[cpu]
         # New tasks start at the end of the current period.
         task.vruntime = max(task.vruntime, rq.min_vruntime)
@@ -244,7 +249,6 @@ class CfsSchedClass(SchedClass):
         rq.insert(task)
 
     def task_wakeup(self, task, cpu):
-        self._group_weight_add(task.pid, task.weight, cpu, +1)
         rq = self._rqs[cpu]
         # place_entity: don't let sleepers bank unbounded credit.
         threshold = self.kernel.config.sched_latency_ns // 2
@@ -252,7 +256,6 @@ class CfsSchedClass(SchedClass):
         rq.insert(task)
 
     def task_blocked(self, task, cpu):
-        self._group_weight_add(task.pid, task.weight, cpu, -1)
         rq = self._rqs[cpu]
         if rq.curr_pid == task.pid:
             rq.curr_pid = None
@@ -280,7 +283,6 @@ class CfsSchedClass(SchedClass):
                 rq.curr_pid = None
         task = self.kernel.tasks.get(pid)
         if task is not None:
-            self._group_weight_add(pid, task.weight, task.cpu, -1)
             for rq in self._rqs:
                 rq.remove(task)
         self.group_of.pop(pid, None)
@@ -294,15 +296,14 @@ class CfsSchedClass(SchedClass):
 
     def migrate_task_rq(self, task, new_cpu):
         # Re-home the vruntime: subtract the old queue's baseline, add the
-        # new one's, as migrate_task_rq_fair does.
-        self._group_weight_add(task.pid, task.weight, new_cpu, +1)
+        # new one's, as migrate_task_rq_fair does.  (The kernel's group
+        # runnable index re-homes itself in try_migrate.)
         old_cpu = None
         for rq in self._rqs:
             if rq.cpu != new_cpu and rq.remove(task):
                 old_cpu = rq.cpu
                 break
         if old_cpu is not None:
-            self._group_weight_add(task.pid, task.weight, old_cpu, -1)
             task.vruntime -= self._rqs[old_cpu].min_vruntime
             task.vruntime += self._rqs[new_cpu].min_vruntime
         else:

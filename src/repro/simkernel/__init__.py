@@ -21,6 +21,7 @@ from repro.simkernel.dispatch import DispatchEngine
 from repro.simkernel.errors import SimError, SchedulingError
 from repro.simkernel.events import EventQueue
 from repro.simkernel.futex import Futex
+from repro.simkernel.groups import GroupManager, TaskGroup
 from repro.simkernel.interp import OpInterpreter
 from repro.simkernel.kernel import Kernel
 from repro.simkernel.lifecycle import LifecycleManager
@@ -59,6 +60,7 @@ __all__ = [
     "Futex",
     "FutexWait",
     "FutexWake",
+    "GroupManager",
     "Kernel",
     "LifecycleManager",
     "MigrationService",
@@ -81,6 +83,7 @@ __all__ = [
     "SimError",
     "Sleep",
     "Spawn",
+    "TaskGroup",
     "TaskState",
     "TaskStruct",
     "Topology",

@@ -77,8 +77,24 @@ class DispatchEngine:
         prev.stats.preemptions += 1
         rq.current = None
         prev.on_rq = False
-        k._attach_runnable(prev, cpu)
         cls = k.class_of(prev)
+        if prev.group is not None:
+            throttled = k.groups.throttled_ancestor(prev)
+            if throttled is not None:
+                # Preempted because its group ran out of bandwidth: park
+                # instead of re-queueing.  The class sees a plain block
+                # (revoking any Enoki token) and re-learns the task via
+                # the wakeup path at unthrottle time.
+                cls.task_blocked(prev, cpu)
+                k.groups.park(prev, throttled)
+                if k.trace is not None:
+                    k.trace("preempt", t=k.now, cpu=cpu, pid=prev.pid)
+                self.pick_and_switch(
+                    cpu, prev=prev,
+                    base_cost=cls.invocation_cost_ns("task_blocked"),
+                )
+                return
+        k._attach_runnable(prev, cpu)
         cls.task_preempt(prev, cpu)
         if k.trace is not None:
             k.trace("preempt", t=k.now, cpu=cpu, pid=prev.pid)
@@ -111,17 +127,30 @@ class DispatchEngine:
             stats.blocked_count += 1
             stats.block_since_ns = k.now
             stats.block_is_sleep = block_reason == "sleep"
+            if prev.group is not None:
+                k.groups.unaccount(prev)
             cls.task_blocked(prev, cpu)
             hook = "task_blocked"
         elif disposition == YIELD:
             prev.set_state(TaskState.RUNNABLE)
             prev.stats.yields += 1
-            k._attach_runnable(prev, cpu)
-            cls.task_yield(prev, cpu)
-            hook = "task_yield"
+            throttled = (k.groups.throttled_ancestor(prev)
+                         if prev.group is not None else None)
+            if throttled is not None:
+                # Yielded inside a throttled subtree: park it (the class
+                # sees a block, matching the preemption park path).
+                cls.task_blocked(prev, cpu)
+                k.groups.park(prev, throttled)
+                hook = "task_blocked"
+            else:
+                k._attach_runnable(prev, cpu)
+                cls.task_yield(prev, cpu)
+                hook = "task_yield"
         elif disposition == EXIT:
             prev.set_state(TaskState.DEAD)
             prev.stats.finished_ns = k.now
+            if prev.group is not None:
+                k.groups.unaccount(prev)
             cls.task_dead(prev.pid)
             hook = "task_dead"
             k.lifecycle.notify_exit(prev)
@@ -229,10 +258,34 @@ class DispatchEngine:
                         k.interp.run_complete, task, epoch)
         else:
             k.events.at(start, self.task_resume, task, epoch)
+        if task.group is not None:
+            headroom = k.groups.bandwidth_headroom(task.group)
+            if headroom is not None:
+                # Tight enforcement: re-examine the quota the moment the
+                # remaining budget would run dry, not just at the tick.
+                deadline = start + max(headroom,
+                                       k.config.timer_min_delay_ns)
+                k.events.at(deadline, self._bandwidth_expire, task, epoch)
         self.start_tick(cpu)
         if k.trace:
             k.trace("dispatch", cpu=cpu, pid=task.pid, t=k.now,
                     cost=cost)
+
+    def _bandwidth_expire(self, task, epoch):
+        """A dispatched task's group budget should be dry about now:
+        charge up to the instant and re-arm or let enforcement throttle."""
+        k = self.k
+        if task.run_epoch != epoch or task.state != TaskState.RUNNING:
+            return
+        cpu = task.cpu
+        if k.rqs[cpu].current is not task:
+            return
+        self.update_curr(cpu)
+        headroom = k.groups.bandwidth_headroom(task.group)
+        if headroom is not None and headroom > 0:
+            # Other CPUs drained less than predicted; check again later.
+            k.events.after(headroom, self._bandwidth_expire, task, epoch)
+        # headroom <= 0: the charge above queued the throttle enforcement.
 
     def task_resume(self, task, epoch):
         k = self.k
@@ -308,4 +361,7 @@ class DispatchEngine:
         acct = k.accounting
         if acct is not None:
             acct.note_run(cur.policy, delta)
+        group = cur.group
+        if group is not None:
+            k.groups.charge(group, delta)
         k.class_of(cur).update_curr(cur, delta)

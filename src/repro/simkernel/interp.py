@@ -237,7 +237,14 @@ class OpInterpreter:
             self.complete_op(task, epoch, fork_cost)
             return
         if isinstance(op, ops.SetNice):
-            task.set_nice(op.nice)
+            if task.group is not None:
+                # Re-account under the new weight: the group runnable
+                # index holds the old weight until told otherwise.
+                k.groups.unaccount(task)
+                task.set_nice(op.nice)
+                k.groups.account(task, cpu)
+            else:
+                task.set_nice(op.nice)
             k.class_of(task).task_prio_changed(task, cpu)
             task.pending_result = None
             self.boundary(task)

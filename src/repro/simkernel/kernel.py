@@ -35,6 +35,7 @@ from repro.simkernel.config import SimConfig
 from repro.simkernel.dispatch import DispatchEngine
 from repro.simkernel.errors import SchedulingError
 from repro.simkernel.events import EventQueue
+from repro.simkernel.groups import GroupManager
 from repro.simkernel.interp import OpInterpreter
 from repro.simkernel.lifecycle import LifecycleManager
 from repro.simkernel.migration import MigrationService
@@ -77,6 +78,10 @@ class Kernel:
         self.dispatcher = DispatchEngine(self)
         self.migration = MigrationService(self)
         self.lifecycle = LifecycleManager(self)
+        # Hierarchical task groups + CPU bandwidth control.  Always
+        # present; tasks with ``group is None`` live in the implicit root
+        # group and pay nothing on the hot paths.
+        self.groups = GroupManager(self)
 
     # ------------------------------------------------------------------
     # registration
@@ -203,11 +208,17 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def spawn(self, prog, name=None, policy=0, nice=0, allowed_cpus=None,
-              origin_cpu=0, tgid=None):
-        """Create and start a new task running ``prog`` (a generator fn)."""
+              origin_cpu=0, tgid=None, group=None):
+        """Create and start a new task running ``prog`` (a generator fn).
+
+        ``group`` (a name or :class:`~repro.simkernel.groups.TaskGroup`)
+        places the task in the group hierarchy; None means the implicit
+        root group.
+        """
         return self.lifecycle.spawn(prog, name=name, policy=policy,
                                     nice=nice, allowed_cpus=allowed_cpus,
-                                    origin_cpu=origin_cpu, tgid=tgid)
+                                    origin_cpu=origin_cpu, tgid=tgid,
+                                    group=group)
 
     # ------------------------------------------------------------------
     # wakeups and migration (delegated)
@@ -253,6 +264,8 @@ class Kernel:
         # the task reaches any run queue).
         if task.stats.wait_since_ns < 0:
             task.stats.wait_since_ns = self.now
+        if task.group is not None:
+            self.groups.account(task, cpu)
         acct = self.accounting
         if acct is not None:
             acct.note_enqueue(cpu, len(rq.queued))

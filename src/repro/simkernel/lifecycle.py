@@ -24,7 +24,7 @@ class LifecycleManager:
     # ------------------------------------------------------------------
 
     def spawn(self, prog, name=None, policy=0, nice=0, allowed_cpus=None,
-              origin_cpu=0, tgid=None):
+              origin_cpu=0, tgid=None, group=None):
         """Create and start a new task running ``prog`` (a generator fn)."""
         k = self.k
         pid = self._next_pid
@@ -33,6 +33,8 @@ class LifecycleManager:
                           allowed_cpus=allowed_cpus, tgid=tgid)
         task.stats.created_ns = k.now
         k.tasks[pid] = task
+        if group is not None:
+            k.groups.assign(task, group)
         task.start_program()
         self.wake_up_new_task(task, origin_cpu)
         return task
@@ -40,6 +42,18 @@ class LifecycleManager:
     def wake_up_new_task(self, task, origin_cpu):
         """Place and queue a new task.  Returns the fork-path hook cost."""
         k = self.k
+        if task.group is not None:
+            throttled = k.groups.throttled_ancestor(task)
+            if throttled is not None:
+                # Born into a throttled subtree: park without telling the
+                # scheduler class — it first hears about this task via the
+                # fork-flavoured admission at unthrottle time.
+                task.set_state(TaskState.RUNNABLE)
+                k.groups.park(task, throttled, origin="new")
+                if k.trace is not None:
+                    k.trace("fork", t=k.now, cpu=origin_cpu, pid=task.pid,
+                            throttled=True)
+                return 0
         cls = k.class_of(task)
         cpu = k.migration.invoke_select(cls, task, origin_cpu, WF_FORK,
                                         origin_cpu)

@@ -57,6 +57,29 @@ class MigrationService:
             return 0
         if task.state != TaskState.BLOCKED:
             return 0
+        if task.group is not None:
+            throttled = k.groups.throttled_ancestor(task)
+            if throttled is not None:
+                # Waking into a throttled subtree: park straight from
+                # BLOCKED.  No class hooks run (the class already saw
+                # task_blocked); the wakeup is replayed at unthrottle.
+                # No wakeup-latency sample either — the task is not
+                # waiting on the scheduler, it is waiting on bandwidth.
+                stats = task.stats
+                if stats.block_since_ns >= 0:
+                    delta = k.now - stats.block_since_ns
+                    if stats.block_is_sleep:
+                        stats.sleep_ns += delta
+                    else:
+                        stats.block_ns += delta
+                    stats.block_since_ns = -1
+                k.stats.total_wakeups += 1
+                k.groups.park(task, throttled)
+                if k.trace is not None:
+                    k.trace("wakeup", t=k.now, cpu=-1, pid=task.pid,
+                            waker=waker_cpu if waker_cpu is not None
+                            else -1, throttled=True)
+                return 0
         cls = k.class_of(task)
         flags = WF_TTWU | (WF_SYNC if sync else 0)
         task.set_state(TaskState.RUNNABLE)
@@ -110,6 +133,15 @@ class MigrationService:
             return False
         if not task.can_run_on(cpu):
             return False
+        if task.group is not None:
+            throttled = k.groups.throttled_ancestor(task)
+            if throttled is not None:
+                # Deferred placement landing in a throttled subtree: the
+                # placement is consumed (True — it was valid), but the
+                # task parks instead of reaching the run queue.
+                k._limbo.discard(pid)
+                k.groups.park(task, throttled)
+                return True
         k._limbo.discard(pid)
         k._attach_runnable(task, cpu)
         cls = k.class_of(task)
@@ -203,6 +235,8 @@ class MigrationService:
             return self.migrate_failed(pid, dest_cpu, "kick-in-flight")
         src_rq.detach(task)
         k.rqs[dest_cpu].attach(task)
+        if task.group is not None:
+            k.groups.account(task, dest_cpu)
         task.stats.migrations += 1
         k.stats.total_migrations += 1
         k.stats.cpus[dest_cpu].steals += 1

@@ -45,16 +45,22 @@ class TaskState(enum.Enum):
     RUNNABLE = "runnable"   # on a run queue, waiting for CPU
     RUNNING = "running"     # currently on a CPU
     BLOCKED = "blocked"     # sleeping / waiting on pipe, futex, timer
+    THROTTLED = "throttled"  # parked in a bandwidth-throttled task group
     DEAD = "dead"
 
 
 _ALLOWED = {
     TaskState.NEW: {TaskState.RUNNABLE},
-    TaskState.RUNNABLE: {TaskState.RUNNING, TaskState.DEAD},
+    TaskState.RUNNABLE: {
+        TaskState.RUNNING, TaskState.THROTTLED, TaskState.DEAD,
+    },
     TaskState.RUNNING: {
         TaskState.RUNNABLE, TaskState.BLOCKED, TaskState.DEAD,
     },
-    TaskState.BLOCKED: {TaskState.RUNNABLE, TaskState.DEAD},
+    TaskState.BLOCKED: {
+        TaskState.RUNNABLE, TaskState.THROTTLED, TaskState.DEAD,
+    },
+    TaskState.THROTTLED: {TaskState.RUNNABLE, TaskState.DEAD},
     TaskState.DEAD: set(),
 }
 
@@ -75,6 +81,7 @@ class TaskStruct:
         "sum_exec_runtime_ns", "last_ran_ns", "exec_start_ns",
         "last_wakeup_ns", "last_enqueue_ns", "wakeup_flags", "kick_at_ns",
         "vruntime", "on_rq",
+        "group", "group_cpu",
         "stats", "exit_value", "user_data",
     )
 
@@ -107,6 +114,13 @@ class TaskStruct:
         self.kick_at_ns = 0
         self.vruntime = 0
         self.on_rq = False
+        # Task-group attachment (None = the implicit root group, which
+        # carries no accounting so flat workloads pay nothing for the
+        # hierarchy).  ``group_cpu`` is the CPU this task's weight is
+        # currently accounted on in the group's runnable index (-1 = not
+        # accounted).
+        self.group = None
+        self.group_cpu = -1
         self.stats = TaskStats()
         self.exit_value = None
         self.user_data = None

@@ -74,12 +74,16 @@ class TaskSpec:
     #: task announces ``{"expected_ns": declare_ns}`` before each burst,
     #: exercising the serverless scheduler's classification fast path.
     declare_ns: int = 0
+    #: task-group name ("" = the implicit root group); the group decides
+    #: the policy when it (or an ancestor) declares one
+    group: str = ""
 
     def to_dict(self):
         return {"run_ns": self.run_ns, "sleep_ns": self.sleep_ns,
                 "phases": self.phases, "hints": self.hints,
                 "yield_every": self.yield_every,
-                "declare_ns": self.declare_ns}
+                "declare_ns": self.declare_ns,
+                "group": self.group}
 
     @classmethod
     def from_dict(cls, data):
@@ -97,6 +101,7 @@ class EpisodeSpec:
     upgrade_at_ns: int = 0        # 0 = no live upgrade
     plan: dict = None             # FaultPlan.to_dict() or None
     bug: str = ""                 # test-only planted bug, e.g. "skip_consume"
+    groups: tuple = ()            # task-group forest (dicts, parents first)
 
     def to_dict(self):
         return {
@@ -107,6 +112,7 @@ class EpisodeSpec:
             "upgrade_at_ns": self.upgrade_at_ns,
             "plan": self.plan,
             "bug": self.bug,
+            "groups": [dict(g) for g in self.groups],
         }
 
     @classmethod
@@ -119,6 +125,7 @@ class EpisodeSpec:
             upgrade_at_ns=data.get("upgrade_at_ns", 0),
             plan=data.get("plan"),
             bug=data.get("bug", ""),
+            groups=tuple(dict(g) for g in data.get("groups", ())),
         )
 
     @property
@@ -190,9 +197,41 @@ def generate_episode(seed, sched=None):
     plan = None
     if rng.random() < 0.4:
         plan = _random_plan(rng).to_dict()
+    # A third of episodes run inside a random task-group forest; the
+    # draws come last so ungrouped episodes are unchanged for old seeds.
+    groups = ()
+    if rng.random() < 0.35:
+        groups = _random_groups(rng)
+        names = [g["name"] for g in groups]
+        tasks = [replace(t, group=rng.choice(names))
+                 if rng.random() < 0.6 else t for t in tasks]
     return EpisodeSpec(seed=seed, sched=name, nr_cpus=nr_cpus,
                        tasks=tuple(tasks), upgrade_at_ns=upgrade_at_ns,
-                       plan=plan)
+                       plan=plan, groups=groups)
+
+
+def _random_groups(rng):
+    """A random group forest: depth <= 3, mixed quotas and weights, and
+    the occasional per-group policy override (0 sends a group's tasks to
+    the native class; quota throttling is what keeps that mix live)."""
+    groups = []
+    depth = {"root": 0}
+    for i in range(rng.randint(1, 4)):
+        name = f"g{i}"
+        candidates = ["root"] + [g["name"] for g in groups
+                                 if depth[g["name"]] < 3]
+        parent = rng.choice(candidates)
+        entry = {"name": name, "parent": parent,
+                 "weight": rng.choice((256, 512, 1024, 2048))}
+        if rng.random() < 0.4:
+            entry["quota_ns"] = rng.randrange(usecs(200), usecs(2_000))
+            entry["period_ns"] = rng.choice(
+                (usecs(1_000), usecs(2_000), usecs(5_000)))
+        if rng.random() < 0.25:
+            entry["policy"] = rng.choice((0, TASK_POLICY))
+        depth[name] = depth[parent] + 1
+        groups.append(entry)
+    return tuple(groups)
 
 
 def _random_plan(rng):
@@ -210,6 +249,27 @@ def _random_plan(rng):
     return FaultPlan(name="composed", specs=tuple(specs),
                      seed=rng.randrange(1 << 16),
                      description="fuzzer-composed plan").validate()
+
+
+def _install_groups(session, spec):
+    """Create the episode's group forest on the built kernel."""
+    for g in spec.groups:
+        session.kernel.groups.create(
+            g["name"], parent=g.get("parent", "root"),
+            weight=g.get("weight", 1024), quota_ns=g.get("quota_ns", 0),
+            period_ns=g.get("period_ns", 0), policy=g.get("policy"))
+
+
+def _spawn_tasks(session, spec):
+    """Spawn every episode task, honouring group placement and each
+    group's resolved policy."""
+    for i, task_spec in enumerate(spec.tasks):
+        group = task_spec.group or None
+        policy = (session.group_policy(group) if group is not None
+                  else TASK_POLICY)
+        session.spawn(_make_program(task_spec, policy),
+                      name=f"fuzz-{i}", policy=policy, group=group,
+                      origin_cpu=i % spec.nr_cpus)
 
 
 def _make_program(task_spec, policy):
@@ -283,15 +343,14 @@ def episode_digest(seed, observe=False, sched=None):
                .with_enoki(spec.sched, policy=TASK_POLICY, priority=10)
                .build())
     kernel = session.kernel
+    _install_groups(session, spec)
     if observe:
         Observer.attach(kernel)
     if spec.plan is not None:
         session.install_faults(FaultPlan.from_dict(spec.plan))
     if spec.upgrade_at_ns:
         session.schedule_upgrade(spec.upgrade_at_ns)
-    for i, task_spec in enumerate(spec.tasks):
-        session.spawn(_make_program(task_spec, TASK_POLICY),
-                      name=f"fuzz-{i}", origin_cpu=i % spec.nr_cpus)
+    _spawn_tasks(session, spec)
     try:
         kernel.run_until_idle(max_events=_EVENT_BUDGET)
     except SimError:
@@ -322,6 +381,7 @@ def run_episode(spec, capture=False):
                            recorder=recorder)
                .build())
     kernel, shim = session.kernel, session.shim
+    _install_groups(session, spec)
     suite = SanitizerSuite.attach(kernel)
 
     if spec.bug == "skip_consume":
@@ -333,10 +393,7 @@ def run_episode(spec, capture=False):
     if spec.upgrade_at_ns:
         session.schedule_upgrade(spec.upgrade_at_ns)
 
-    for i, task_spec in enumerate(spec.tasks):
-        session.spawn(_make_program(task_spec, TASK_POLICY),
-                      name=f"fuzz-{i}",
-                      origin_cpu=i % spec.nr_cpus)
+    _spawn_tasks(session, spec)
 
     try:
         kernel.run_until_idle(max_events=_EVENT_BUDGET)

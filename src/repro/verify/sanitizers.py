@@ -111,16 +111,135 @@ def conservation_violations(kernel, at_ns=None):
                 flag("RUNNABLE task lost: on no run queue and not in "
                      "limbo" if not queued else
                      f"RUNNABLE task queued on {queued}", pid=pid)
+            if kernel.groups.parked_containers(pid):
+                flag("RUNNABLE task still parked in throttled group(s) "
+                     f"{kernel.groups.parked_containers(pid)}", pid=pid)
         elif state is TaskState.BLOCKED:
             if queued or running or limbo:
                 flag(f"BLOCKED task still scheduler-visible "
                      f"(queued={queued}, running={running}, "
                      f"limbo={limbo})", pid=pid)
+        elif state is TaskState.THROTTLED:
+            if queued or running or limbo:
+                flag(f"THROTTLED task still scheduler-visible "
+                     f"(queued={queued}, running={running}, "
+                     f"limbo={limbo})", pid=pid)
+            containers = kernel.groups.parked_containers(pid)
+            if len(containers) != 1:
+                flag("THROTTLED task parked in "
+                     f"{containers if containers else 'no'} group(s) "
+                     "(expected exactly one)", pid=pid)
     for rq in kernel.rqs:
         for pid, task in rq.queued.items():
             if task.state is not TaskState.RUNNABLE:
                 flag(f"run queue holds non-runnable task "
                      f"(state {task.state.name})", pid=pid, cpu=rq.cpu)
+    return out
+
+
+def group_bandwidth_violations(kernel, at_ns=None):
+    """Hierarchical task-group invariants (group-bandwidth-conservation).
+
+    * per-period consumption never exceeds the quota by more than the
+      enforcement slack (ticks land per CPU, so an N-CPU machine can
+      overrun by up to a tick-ish per CPU before the throttle bites —
+      the same granularity real CFS bandwidth control exhibits);
+    * the per-CPU runnable index matches a recount from task states;
+    * a group's cumulative runtime equals the sum over its subtree's
+      members (dead ones included) — runtime is never lost or invented;
+    * a throttled group has no runnable or running subtree member.
+    """
+    out = []
+    now = kernel.now if at_ns is None else at_ns
+    groups = kernel.groups
+    if not groups.has_groups():
+        return out
+
+    def flag(detail, pid=-1, cpu=-1):
+        out.append(Violation("group_bandwidth", now, detail, pid, cpu))
+
+    cfg = kernel.config
+    nr_cpus = kernel.topology.nr_cpus
+    slack = nr_cpus * (cfg.tick_period_ns + cfg.context_switch_ns
+                       + cfg.timer_min_delay_ns)
+    all_groups = groups.all_groups()
+
+    # -- recount the per-CPU runnable index from task states -----------
+    task_weight = {g.name: [0] * nr_cpus for g in all_groups}
+    counted = {g.name: [0] * nr_cpus for g in all_groups}
+    for pid, task in kernel.tasks.items():
+        group = task.group
+        accounted = (task.state is TaskState.RUNNING
+                     or (task.state is TaskState.RUNNABLE and task.on_rq))
+        if group is None:
+            if task.group_cpu != -1:
+                flag(f"ungrouped task has group_cpu {task.group_cpu}",
+                     pid=pid)
+            continue
+        if accounted:
+            if task.group_cpu != task.cpu:
+                flag(f"runnable grouped task accounted on cpu "
+                     f"{task.group_cpu}, lives on cpu {task.cpu}",
+                     pid=pid, cpu=task.cpu)
+            elif 0 <= task.group_cpu < nr_cpus:
+                task_weight[group.name][task.group_cpu] += task.weight
+                counted[group.name][task.group_cpu] += 1
+        elif task.group_cpu != -1:
+            flag(f"{task.state.name} grouped task still accounted on "
+                 f"cpu {task.group_cpu}", pid=pid)
+
+    for group in all_groups:
+        for cpu in range(nr_cpus):
+            expect_tw = task_weight[group.name][cpu]
+            expect_nr = counted[group.name][cpu]
+            expect_cw = 0
+            for child in group.children:
+                if child.nr_runnable[cpu] > 0:
+                    expect_nr += 1
+                    expect_cw += child.weight
+            if group.task_weight[cpu] != expect_tw:
+                flag(f"group {group.name!r} task_weight[{cpu}] is "
+                     f"{group.task_weight[cpu]}, recount says "
+                     f"{expect_tw}", cpu=cpu)
+            if group.child_weight[cpu] != expect_cw:
+                flag(f"group {group.name!r} child_weight[{cpu}] is "
+                     f"{group.child_weight[cpu]}, recount says "
+                     f"{expect_cw}", cpu=cpu)
+            if group.nr_runnable[cpu] != expect_nr:
+                flag(f"group {group.name!r} nr_runnable[{cpu}] is "
+                     f"{group.nr_runnable[cpu]}, recount says "
+                     f"{expect_nr}", cpu=cpu)
+
+    # -- bandwidth, conservation, throttle containment -----------------
+    for group in all_groups:
+        if group.quota_ns:
+            for label, consumed in (
+                    ("current", group.period_consumed_ns),
+                    ("max", group.max_period_consumed_ns)):
+                if consumed > group.quota_ns + slack:
+                    flag(f"group {group.name!r} {label} period "
+                         f"consumption {consumed} exceeds quota "
+                         f"{group.quota_ns} + slack {slack}")
+        subtree_runtime = 0
+        for node in group.iter_subtree():
+            subtree_runtime += sum(
+                t.sum_exec_runtime_ns for t in node.members.values())
+        if subtree_runtime != group.total_runtime_ns:
+            flag(f"group {group.name!r} runtime {group.total_runtime_ns}"
+                 f" != subtree task runtime {subtree_runtime} "
+                 "(runtime lost or invented)")
+        if group.throttled:
+            # RUNNING members are legal transiently: throttle marks the
+            # group and kicks a resched, and the victim stays current
+            # until that lands (as in CFS).  A *queued* member, though,
+            # means the throttle failed to drain the run queues.
+            for node in group.iter_subtree():
+                for pid, task in node.members.items():
+                    if (task.state is TaskState.RUNNABLE
+                            and task.on_rq):
+                        flag(f"throttled group {group.name!r} has "
+                             f"queued member via {node.name!r}",
+                             pid=pid)
     return out
 
 
@@ -173,6 +292,7 @@ def token_state_violations(kernel, at_ns=None):
 def check_kernel_state(kernel):
     """All pure state-scan checks; returns the violation list."""
     violations = conservation_violations(kernel)
+    violations += group_bandwidth_violations(kernel)
     violations += ring_violations(kernel)
     violations += token_state_violations(kernel)
     return violations
@@ -266,7 +386,7 @@ class ConservationSanitizer(Sanitizer):
     #: event kinds after which the full state scan runs
     SCAN_KINDS = frozenset({
         "dispatch", "wakeup", "fork", "preempt", "migrate", "idle",
-        "failover", "upgrade",
+        "failover", "upgrade", "throttle", "unthrottle",
     })
 
     def on_event(self, kind, t, cpu, pid, fields):
@@ -412,6 +532,31 @@ class LockSanitizer(Sanitizer):
                           f"writer={writer}")
 
 
+class GroupBandwidthSanitizer(Sanitizer):
+    """Group-bandwidth-conservation, audited on every throttle-path
+    event (throttle / unthrottle / quota_refill) and at end of run."""
+
+    name = "group_bandwidth"
+
+    #: event kinds after which the group scan runs
+    SCAN_KINDS = frozenset({"throttle", "unthrottle", "quota_refill"})
+
+    def on_event(self, kind, t, cpu, pid, fields):
+        if kind not in self.SCAN_KINDS:
+            return
+        kernel = self.suite._kernel
+        if kernel is None:
+            return
+        for violation in group_bandwidth_violations(kernel, at_ns=t):
+            self.suite.record_violation(violation)
+
+    def check(self, kernel):
+        if kernel is None:
+            return
+        for violation in group_bandwidth_violations(kernel):
+            self.suite.record_violation(violation)
+
+
 class HintRingSanitizer(Sanitizer):
     """Ring accounting (pushes = pops + overwrites + residual)."""
 
@@ -431,6 +576,7 @@ DEFAULT_SANITIZERS = (
     ConservationSanitizer,
     ClockSanitizer,
     LockSanitizer,
+    GroupBandwidthSanitizer,
     HintRingSanitizer,
 )
 

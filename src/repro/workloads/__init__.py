@@ -13,4 +13,7 @@
 * :mod:`~repro.workloads.faas` — the Azure-Functions-style serverless
   trace sampler + open-loop warm/cold container-pool executor (the
   ROADMAP's production-scale FaaS scenario).
+* :mod:`~repro.workloads.multitenant` — the noisy-neighbour episode over
+  hierarchical task groups: weighted tenants plus a bandwidth-capped one
+  (``repro bench --multitenant``).
 """
