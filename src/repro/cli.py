@@ -542,8 +542,12 @@ def cmd_bench(args):
         return 0
 
     if args.compare:
+        from repro.exp.bench import SIMPERF_WORKLOADS
+        workloads = list(SIMPERF_WORKLOADS) if args.all_workloads else None
         ok, lines = compare_simperf(args.simperf_out,
-                                    threshold=args.threshold)
+                                    threshold=args.threshold,
+                                    workloads=workloads,
+                                    strict=args.all_workloads)
         for line in lines:
             print(line)
         if not ok:
@@ -894,6 +898,10 @@ def main(argv=None):
     p.add_argument("--rounds", type=int, default=2000,
                    help="workload scale for --simperf (pipe rounds; other "
                         "workloads derive their size from it)")
+    p.add_argument("--all-workloads", action="store_true",
+                   help="with --compare: require every simperf sweep "
+                        "workload to have a comparable entry pair; a "
+                        "missing workload is an error, not a skip")
     p.add_argument("--compare", action="store_true",
                    help="diff each workload's newest simperf entry against "
                         "its previous one; exit nonzero on regression")

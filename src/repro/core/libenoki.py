@@ -8,6 +8,7 @@ scheduler code reaches the few kernel services it may use (locks, resched
 timers, reverse hint queues).
 """
 
+import copy
 import threading
 
 from repro.core.errors import EnokiError
@@ -111,6 +112,21 @@ class EnokiEnv:
     def make_threaded(self):
         """Route ``current_thread`` through thread-local storage."""
         self._threaded = True
+
+    def __deepcopy__(self, memo):
+        # Thread-local storage cannot be deep-copied (and never needs to
+        # be: only the threaded replayer populates it, and snapshots are
+        # taken from quiescent single-threaded simulations).  Copy every
+        # other attribute through the memo and give the clone fresh TLS.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "_tls":
+                clone._tls = threading.local()
+            else:
+                clone.__dict__[key] = copy.deepcopy(value, memo)
+        return clone
 
     @property
     def current_thread(self):

@@ -17,6 +17,7 @@ manager from the per-CPU sync constants.  Threaded replay reuses the same
 class under real concurrency.
 """
 
+import copy
 import threading
 
 from repro.core.errors import UpgradeError
@@ -44,6 +45,23 @@ class SchedulerRwLock:
         #: ``write_release``.  Left None (a single attribute test) on the
         #: fast path so disabled tracing costs nothing measurable.
         self.on_event = None
+
+    def __deepcopy__(self, memo):
+        # The OS mutex/condition cannot be deep-copied, and never needs to
+        # be: snapshots are taken from quiescent single-threaded sessions
+        # (no readers or writer in flight), so the clone gets fresh
+        # primitives while the protocol state and counters copy through.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "_mutex":
+                clone._mutex = threading.Lock()
+            elif key == "_readers_ok":
+                clone._readers_ok = threading.Condition(clone._mutex)
+            else:
+                clone.__dict__[key] = copy.deepcopy(value, memo)
+        return clone
 
     def set_threaded(self, threaded=True):
         """Select real mutex/condition synchronisation (threaded replay).

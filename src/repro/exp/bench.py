@@ -619,7 +619,14 @@ def _simperf_spec(workload, rounds):
 
 
 def _run_fuzz_episodes(rounds):
-    """Run a fixed batch of fuzz episodes; returns (simulated_ns, extra)."""
+    """Run a fixed batch of fuzz episodes; returns (simulated_ns, extra).
+
+    Episode sessions come from the fuzzer's warm-image cache
+    (:mod:`repro.simkernel.snapshot`): the first episode of a given
+    machine shape captures a pre-spawn image and every later episode —
+    including across the best-of ``repeats`` loop — forks a
+    byte-identical clone instead of rebuilding the session.
+    """
     from repro.verify.fuzz import generate_episode, run_episode
     episodes = max(1, min(4, rounds // 500))
     simulated = 0
@@ -661,14 +668,22 @@ def load_simperf(path):
     return trajectory
 
 
+def _simperf_key(entry):
+    """The identity an entry replaces on re-append: same revision, same
+    workload, *and* same measurement shape.  Including rounds/repeats
+    keeps a quick ``--rounds 200`` smoke run from silently overwriting
+    the committed full-depth baseline at the same revision."""
+    return (entry.get("git_rev"), entry.get("workload"),
+            entry.get("rounds"), entry.get("repeats"))
+
+
 def append_simperf(trajectory, entry):
-    """Append ``entry``, replacing any earlier entry for the same
-    ``(git_rev, workload)`` pair so repeated local runs don't accumulate
+    """Append ``entry``, replacing any earlier entry with the same
+    :func:`_simperf_key` so repeated local runs don't accumulate
     duplicates (the trajectory tracks revisions, not invocations)."""
-    key = (entry.get("git_rev"), entry.get("workload"))
+    key = _simperf_key(entry)
     trajectory["entries"] = [
-        e for e in trajectory["entries"]
-        if (e.get("git_rev"), e.get("workload")) != key
+        e for e in trajectory["entries"] if _simperf_key(e) != key
     ]
     trajectory["entries"].append(entry)
     return trajectory
@@ -713,7 +728,8 @@ def run_simperf(path="BENCH_simperf.json", rounds=2000, repeats=3,
     return entries
 
 
-def compare_simperf(trajectory, threshold=0.20, workloads=None):
+def compare_simperf(trajectory, threshold=0.20, workloads=None,
+                    strict=False):
     """Diff each workload's newest entry against its previous one.
 
     The previous entry is the committed baseline in CI (appends dedupe by
@@ -721,6 +737,11 @@ def compare_simperf(trajectory, threshold=0.20, workloads=None):
     entry).  Returns ``(ok, lines)`` where ``ok`` is False when any
     workload regressed by more than ``threshold`` (a fraction, 0.20 =
     20%); ``lines`` is a human-readable report.
+
+    With ``strict`` (the ``--compare --all-workloads`` CI mode) a
+    workload with no comparable pair is an *error*, not a skip: a sweep
+    that silently dropped a workload would otherwise read as "no
+    regressions" while measuring nothing.
     """
     if isinstance(trajectory, str):
         trajectory = load_simperf(trajectory)
@@ -734,8 +755,15 @@ def compare_simperf(trajectory, threshold=0.20, workloads=None):
     for workload in workloads:
         entries = by_workload.get(workload, [])
         if len(entries) < 2:
-            lines.append(f"{workload}: no baseline to compare "
-                         f"({len(entries)} entry)")
+            if strict:
+                ok = False
+                lines.append(
+                    f"{workload}: ERROR missing entries "
+                    f"({len(entries)} present, 2 needed for a "
+                    "baseline comparison)")
+            else:
+                lines.append(f"{workload}: no baseline to compare "
+                             f"({len(entries)} entry)")
             continue
         baseline, newest = entries[-2], entries[-1]
         base_rate = baseline["sim_ns_per_wall_s"]

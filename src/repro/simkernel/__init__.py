@@ -19,7 +19,11 @@ from repro.simkernel.clock import Clock
 from repro.simkernel.config import SimConfig
 from repro.simkernel.dispatch import DispatchEngine
 from repro.simkernel.errors import SimError, SchedulingError
-from repro.simkernel.events import EventQueue
+from repro.simkernel.events import (
+    EventQueue,
+    ReferenceEventQueue,
+    make_event_queue,
+)
 from repro.simkernel.futex import Futex
 from repro.simkernel.groups import GroupManager, TaskGroup
 from repro.simkernel.interp import OpInterpreter
@@ -46,6 +50,13 @@ from repro.simkernel.program import (
     YieldCpu,
 )
 from repro.simkernel.sched_class import SchedClass
+from repro.simkernel.snapshot import (
+    ImageCache,
+    KernelImage,
+    SnapshotError,
+    capture,
+    snapshots_enabled,
+)
 from repro.simkernel.semaphore import Semaphore
 from repro.simkernel.task import TaskState, TaskStruct
 from repro.simkernel.topology import Topology
@@ -61,7 +72,9 @@ __all__ = [
     "FutexWait",
     "FutexWake",
     "GroupManager",
+    "ImageCache",
     "Kernel",
+    "KernelImage",
     "LifecycleManager",
     "MigrationService",
     "OpInterpreter",
@@ -69,6 +82,7 @@ __all__ = [
     "PipeRead",
     "PipeWrite",
     "RecvHints",
+    "ReferenceEventQueue",
     "Run",
     "SchedClass",
     "SchedTracer",
@@ -82,10 +96,14 @@ __all__ = [
     "SimConfig",
     "SimError",
     "Sleep",
+    "SnapshotError",
     "Spawn",
     "TaskGroup",
     "TaskState",
     "TaskStruct",
     "Topology",
+    "capture",
+    "make_event_queue",
+    "snapshots_enabled",
     "YieldCpu",
 ]

@@ -97,6 +97,10 @@ class TimerService:
     def _fire_periodic(self, chain):
         if chain.cancelled:
             return
+        # The handle just fired; drop it *before* the callback so a
+        # callback cancelling its own chain (the telemetry sampler does)
+        # never cancels a fired — possibly since-recycled — handle.
+        chain.handle = None
         self._note_fire(chain)
         chain.callback(chain)
         if not chain.cancelled:

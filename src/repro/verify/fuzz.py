@@ -33,6 +33,7 @@ from repro.exp import KernelBuilder
 from repro.simkernel.clock import usecs
 from repro.simkernel.errors import SimError
 from repro.simkernel.program import Run, SendHint, Sleep, YieldCpu
+from repro.simkernel.snapshot import ImageCache, snapshots_enabled
 from repro.simkernel.task import TaskState
 from repro.verify.sanitizers import SanitizerSuite, Violation
 
@@ -251,6 +252,50 @@ def _random_plan(rng):
                      description="fuzzer-composed plan").validate()
 
 
+#: warm images for episode sessions, keyed by machine shape.  The fuzzer
+#: rotates through a handful of (nr_cpus, sched) combinations thousands of
+#: times; every episode after the first forks a byte-identical clone of
+#: the captured pre-spawn session instead of rebuilding it, and the fork
+#: is re-seeded with the episode seed (``Kernel.reseed``) so determinism
+#: is unchanged.  ``REPRO_NO_SNAPSHOT=1`` restores the build-from-scratch
+#: path.
+_IMAGES = ImageCache()
+
+
+def _episode_session(spec, recorder=None):
+    """The Enoki session for ``spec``: a warm-image fork when possible.
+
+    Recorder-bearing sessions are never snapshotted — the recorder hooks
+    into construction (``with_enoki(..., recorder=...)``) and must observe
+    the session it actually records.
+    """
+    def build():
+        return (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
+                              seed=spec.seed)
+                .with_native("cfs", policy=0, priority=5)
+                .with_enoki(spec.sched, policy=TASK_POLICY, priority=10,
+                            recorder=recorder)
+                .build())
+    if recorder is None and snapshots_enabled():
+        return _IMAGES.fork((spec.nr_cpus, spec.sched), build,
+                            seed=spec.seed)
+    return build()
+
+
+def _control_session(spec):
+    """The native-only control machine for ``spec`` (same warm-image
+    treatment; the control stack has its own cache key)."""
+    def build():
+        return (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
+                              seed=spec.seed)
+                .with_native("cfs", policy=0, priority=10)
+                .build())
+    if snapshots_enabled():
+        return _IMAGES.fork(("control", spec.nr_cpus), build,
+                            seed=spec.seed)
+    return build()
+
+
 def _install_groups(session, spec):
     """Create the episode's group forest on the built kernel."""
     for g in spec.groups:
@@ -337,11 +382,7 @@ def episode_digest(seed, observe=False, sched=None):
     from repro.obs import Observer
 
     spec = generate_episode(seed, sched=sched)
-    session = (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
-                             seed=spec.seed)
-               .with_native("cfs", policy=0, priority=5)
-               .with_enoki(spec.sched, policy=TASK_POLICY, priority=10)
-               .build())
+    session = _episode_session(spec)
     kernel = session.kernel
     _install_groups(session, spec)
     if observe:
@@ -371,15 +412,10 @@ def run_episode(spec, capture=False):
     """
     recorder = Recorder() if spec.recordable else None
 
-    # The builder threads the episode seed into SimConfig, so the
-    # kernel's jitter RNG is episode-deterministic too (not just the
-    # episode-generation RNG).
-    session = (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
-                             seed=spec.seed)
-               .with_native("cfs", policy=0, priority=5)
-               .with_enoki(spec.sched, policy=TASK_POLICY, priority=10,
-                           recorder=recorder)
-               .build())
+    # The episode seed lands in SimConfig (at build or via the fork's
+    # reseed), so the kernel's jitter RNG is episode-deterministic too
+    # (not just the episode-generation RNG).
+    session = _episode_session(spec, recorder=recorder)
     kernel, shim = session.kernel, session.shim
     _install_groups(session, spec)
     suite = SanitizerSuite.attach(kernel)
@@ -451,10 +487,7 @@ def _control_oracle(spec, result):
     it does and the Enoki machine lost tasks, the loss is real."""
     # Same seed as the Enoki machine: the control differs only in its
     # scheduler stack, never in jitter.
-    session = (KernelBuilder(topology=f"smp:{spec.nr_cpus}",
-                             seed=spec.seed)
-               .with_native("cfs", policy=0, priority=10)
-               .build())
+    session = _control_session(spec)
     kernel = session.kernel
     for i, task_spec in enumerate(spec.tasks):
         # Policy 0 has no hint handler; the control program strips hints.

@@ -8,9 +8,11 @@ Two halves:
   the sanitizer/replay oracles must reach the same verdicts.  Every
   hot-path optimisation is held to this contract.
 * **Trajectory hygiene and the regression gate** — ``BENCH_simperf.json``
-  appends dedupe by ``(git_rev, workload)``, and ``repro bench
-  --compare`` exits nonzero when the newest entry regressed more than
-  the threshold against its predecessor.
+  appends dedupe by ``(git_rev, workload, rounds, repeats)``, and
+  ``repro bench --compare`` exits nonzero when the newest entry
+  regressed more than the threshold against its predecessor; with
+  ``--all-workloads`` a sweep workload with no comparable pair is an
+  error too.
 """
 
 import json
@@ -87,6 +89,23 @@ class TestSimperfTrajectory:
         append_simperf(trajectory, self._entry("bbb", "pipe", 2.0))
         assert len(trajectory["entries"]) == 2
 
+    def test_append_keeps_other_measurement_shapes(self):
+        # A quick --rounds smoke run at the same revision must not
+        # replace the committed full-depth baseline entry.
+        trajectory = {"kind": SIMPERF_KIND, "entries": []}
+        full = dict(self._entry("aaa", "pipe", 1.0),
+                    rounds=2000, repeats=3)
+        smoke = dict(self._entry("aaa", "pipe", 2.0),
+                     rounds=200, repeats=1)
+        append_simperf(trajectory, full)
+        append_simperf(trajectory, smoke)
+        assert len(trajectory["entries"]) == 2
+        append_simperf(trajectory, dict(full, sim_ns_per_wall_s=3.0))
+        assert len(trajectory["entries"]) == 2
+        rates = sorted(e["sim_ns_per_wall_s"]
+                       for e in trajectory["entries"])
+        assert rates == [2.0, 3.0]
+
     def test_run_simperf_writes_sweep_meta_and_dedupes(self, tmp_path):
         path = tmp_path / "BENCH_simperf.json"
         first = run_simperf(str(path), rounds=120, repeats=1,
@@ -132,6 +151,33 @@ class TestCompareGate:
         ok, _ = compare_simperf(self._trajectory(100.0, 94.0),
                                 threshold=0.05)
         assert not ok
+
+    def test_strict_mode_flags_missing_workloads(self):
+        trajectory = self._trajectory(100.0, 110.0)   # pipe only
+        ok, lines = compare_simperf(trajectory, strict=True,
+                                    workloads=("pipe", "faas"))
+        assert not ok
+        assert any("faas" in line and "ERROR" in line for line in lines)
+
+    def test_strict_mode_passes_with_full_coverage(self):
+        trajectory = self._trajectory(100.0, 110.0)
+        ok, lines = compare_simperf(trajectory, strict=True,
+                                    workloads=("pipe",))
+        assert ok
+
+    def test_cli_compare_all_workloads_requires_full_sweep(self, tmp_path,
+                                                           capsys):
+        # A healthy pipe pair alone passes plain --compare but fails
+        # --all-workloads: the other sweep workloads have no entries.
+        path = tmp_path / "BENCH_simperf.json"
+        path.write_text(json.dumps(self._trajectory(100.0, 120.0)))
+        assert main(["bench", "--compare",
+                     "--simperf-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--compare", "--all-workloads",
+                     "--simperf-out", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR missing entries" in out
 
     def test_cli_compare_exits_nonzero_on_regression(self, tmp_path,
                                                      capsys):

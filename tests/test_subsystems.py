@@ -112,9 +112,7 @@ def make_running(kernel, task, cpu=0):
 
 def events_after(kernel, seq):
     """Live events scheduled after sequence number ``seq``."""
-    return sorted((h for _time, _seq, h in kernel.events._heap
-                   if h.seq > seq and not h.cancelled),
-                  key=lambda h: (h.time, h.seq))
+    return [h for h in kernel.events.pending() if h.seq > seq]
 
 
 class TestDispatchOrdering:
